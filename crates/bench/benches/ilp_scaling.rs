@@ -1,0 +1,73 @@
+//! Benchmarks the exact solver's cost growth with instance size — the
+//! paper's core negative result: exact solving is orders of magnitude
+//! slower than the policies and grows unpredictably, which is why
+//! CPLEX-style scheduling "is obviously not practicable for a real
+//! implementation" (§5).
+//!
+//! Compare against `policy_time`: the same snapshots plan in microseconds
+//! to milliseconds under FCFS/SJF/LJF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_milp::{solve_snapshot, BranchLimits, SolveConfig};
+use dynp_sched::SchedulingProblem;
+use dynp_trace::{CtcModel, WorkloadModel};
+use std::hint::black_box;
+
+/// A contended snapshot of `n` waiting jobs on a 32-node machine.
+fn snapshot(n: usize, seed: u64) -> SchedulingProblem {
+    let model = CtcModel {
+        nodes: 32,
+        max_runtime: 4 * 3600,
+        ..CtcModel::default()
+    };
+    let trace = model.generate(n, seed);
+    let jobs = trace
+        .jobs
+        .iter()
+        .map(|j| dynp_trace::Job { submit: 0, ..*j })
+        .collect();
+    SchedulingProblem::on_empty_machine(0, 32, jobs)
+}
+
+fn config() -> SolveConfig {
+    SolveConfig {
+        scale_override: Some(300),
+        limits: BranchLimits {
+            max_nodes: 2_000,
+            ..BranchLimits::default()
+        },
+        ..SolveConfig::default()
+    }
+}
+
+fn bench_exact_by_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solve_by_jobs");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 10] {
+        let problem = snapshot(n, 7);
+        let cfg = config();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(solve_snapshot(p, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_by_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_solve_by_time_scale");
+    group.sample_size(10);
+    let problem = snapshot(8, 11);
+    for scale_min in [2u64, 5, 10, 30] {
+        let cfg = SolveConfig {
+            scale_override: Some(scale_min * 60),
+            ..config()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(scale_min), &problem, |b, p| {
+            b.iter(|| black_box(solve_snapshot(p, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_by_jobs, bench_exact_by_scale);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Microbenchmarks of the simulation substrates: the event queue, the
+//! resource profile, and end-to-end trace replay throughput. These bound
+//! how large a workload the harness can replay, independent of the exact
+//! solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_core::FixedPolicy;
+use dynp_des::EventQueue;
+use dynp_platform::ResourceProfile;
+use dynp_sched::Policy;
+use dynp_sim::{simulate, SimConfig};
+use dynp_trace::{CtcModel, WorkloadModel};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                // Scatter times to exercise heap reordering.
+                q.schedule((i * 2_654_435_761) % 1_000_000, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_profile_earliest_fit");
+    for n_resv in [10usize, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n_resv), &n_resv, |b, &n| {
+            // A profile with n staggered reservations.
+            let mut profile = ResourceProfile::new(430);
+            for i in 0..n as u64 {
+                profile.allocate(i * 50, i * 50 + 400, 2 + (i % 64) as u32);
+            }
+            b.iter(|| black_box(profile.earliest_fit(0, 3600, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay_fcfs");
+    group.sample_size(10);
+    for n in [200usize, 1000] {
+        let trace = CtcModel::default().generate(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &trace, |b, t| {
+            b.iter(|| {
+                black_box(simulate(
+                    &t.jobs,
+                    FixedPolicy(Policy::Fcfs),
+                    SimConfig::new(t.machine_size),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_profile, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks the paper's §3 claim: "With the basic policies of the
+//! self-tuning dynP scheduler, the time of scheduling is less than 10
+//! milliseconds for an average number of 25 waiting jobs."
+//!
+//! Measures full-schedule planning (policy ordering + profile placement)
+//! for 25 waiting jobs on a 430-node machine, per policy, plus the
+//! complete self-tuning step (all three policies + decide).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_core::SelfTuning;
+use dynp_platform::MachineHistory;
+use dynp_sched::{plan, Metric, Policy, SchedulingProblem};
+use dynp_trace::{CtcModel, WorkloadModel};
+use std::hint::black_box;
+
+/// A realistic 25-job snapshot on a 430-node machine with a running set.
+fn snapshot(n_waiting: usize) -> SchedulingProblem {
+    let trace = CtcModel::default().generate(n_waiting + 10, 99);
+    let now = 1_000_000u64;
+    // 10 running jobs occupying part of the machine.
+    let running: Vec<(u32, u64)> = trace.jobs[..10]
+        .iter()
+        .enumerate()
+        .map(|(k, j)| (j.width.min(30), now + 600 + 300 * k as u64))
+        .collect();
+    let history = MachineHistory::build(430, now, &running);
+    let jobs = trace.jobs[10..]
+        .iter()
+        .map(|j| dynp_trace::Job {
+            submit: now.saturating_sub(j.submit % 3600),
+            ..*j
+        })
+        .collect();
+    SchedulingProblem::new(now, history, jobs)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let problem = snapshot(25);
+    let mut group = c.benchmark_group("plan_25_jobs_430_nodes");
+    for policy in Policy::PAPER_SET {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| b.iter(|| black_box(plan(&problem, p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_queue_lengths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_fcfs_by_queue_length");
+    for n in [5usize, 25, 100, 400] {
+        let problem = snapshot(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
+            b.iter(|| black_box(plan(p, Policy::Fcfs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_self_tuning_step(c: &mut Criterion) {
+    let problem = snapshot(25);
+    c.bench_function("self_tuning_step_25_jobs", |b| {
+        b.iter(|| {
+            let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+            black_box(dynp.step(&problem))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_policies,
+    bench_queue_lengths,
+    bench_self_tuning_step
+);
+criterion_main!(benches);

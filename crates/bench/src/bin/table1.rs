@@ -1,0 +1,110 @@
+//! Reproduces **Table 1** of the paper: exemplary exact-solver runs on
+//! quasi-off-line snapshots taken at job submissions of a CTC-like trace,
+//! compared against the best basic policy of the self-tuning dynP
+//! scheduler.
+//!
+//! Per row: snapshot size (jobs, max makespan, accumulated runtime), the
+//! Eq. 6 time scale, the model size, the Eq. 7 quality and performance
+//! loss of the best policy vs the exact schedule, and the solve effort.
+//! The final row is the averages row, as in the paper.
+//!
+//! Usage: `cargo run --release -p dynp-bench --bin table1 [n_jobs] [seed]`
+//!
+//! The paper's qualitative expectations (see EXPERIMENTS.md):
+//! * average performance loss in the ~1 % range (paper: 0.7 %),
+//! * occasional negative loss rows (time-scaling artifacts),
+//! * exact solve effort orders of magnitude above the policies' < 10 ms,
+//!   and unpredictable between similar-sized instances.
+
+use dynp_bench::{
+    ctc_trace, dynp_run_with_snapshots, solve_snapshots, spread_sample, Table1Averages,
+    TABLE1_HEADER,
+};
+use dynp_milp::{BranchLimits, SolveConfig};
+use dynp_sim::SnapshotFilter;
+use std::time::Duration;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1200);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+
+    eprintln!("generating CTC-like trace: {n_jobs} jobs, seed {seed} ...");
+    let trace = ctc_trace(n_jobs, seed);
+
+    eprintln!("replaying under self-tuning dynP, collecting snapshots ...");
+    let run = dynp_run_with_snapshots(
+        &trace.jobs,
+        trace.machine_size,
+        SnapshotFilter {
+            // The paper's average instance has ~22 jobs; very small
+            // snapshots are trivial and very large ones explode the ILP.
+            min_jobs: 5,
+            max_jobs: 18,
+            ..SnapshotFilter::default()
+        },
+    );
+    eprintln!(
+        "simulation done: {} jobs completed, {} snapshots collected, {} policy switches",
+        run.records.len(),
+        run.snapshots.len(),
+        run.selector.stats().switches()
+    );
+
+    let sample = spread_sample(&run.snapshots, rows);
+    eprintln!("solving {} snapshots exactly (parallel) ...", sample.len());
+    let config = SolveConfig {
+        // Eq. 6 with the per-entry constant re-measured for *this* solver:
+        // the paper calibrated x = 0.1 kB for CPLEX's data structures; our
+        // revised simplex keeps a dense m x m basis inverse, so the
+        // per-entry footprint is ~64x larger, which Eq. 6 turns into a
+        // correspondingly coarser (but still minutes-range) time scale.
+        memory_bytes: dynp_milp::PAPER_MEMORY_BYTES / 64.0,
+        limits: BranchLimits {
+            max_nodes: 20_000,
+            time_limit: Some(Duration::from_secs(60)),
+            ..BranchLimits::default()
+        },
+        ..SolveConfig::default()
+    };
+    let solved = solve_snapshots(&sample, &config);
+
+    println!();
+    println!("Table 1 — exact problem sizes, quality, and compute time");
+    println!("(metric: SLDwA; baseline: best of FCFS/SJF/LJF at each snapshot)");
+    println!("{TABLE1_HEADER}  status");
+    for r in &solved {
+        println!("{}  {:?}", r.table_row(), r.status);
+    }
+    let avg = Table1Averages::compute(&solved);
+    println!("\naverages over {} runs ({} solved):", avg.runs, avg.solved);
+    println!(
+        "  jobs {:.1}   makespan {:.0} s   acc.runtime {:.0} s   scale {:.1} min",
+        avg.avg_jobs,
+        avg.avg_makespan,
+        avg.avg_acc_runtime,
+        avg.avg_time_scale / 60.0
+    );
+    println!(
+        "  quality {:.3}   perf. loss {:+.2}%   solve time {:.2} s",
+        avg.avg_quality, avg.avg_loss_percent, avg.avg_solve_seconds
+    );
+    // The paper's §3 "power" comparison: quality per compute second.
+    let powers: Vec<(f64, f64)> = solved
+        .iter()
+        .filter_map(|r| Some((r.policy_power()?, r.exact_power()?)))
+        .collect();
+    if !powers.is_empty() {
+        let avg_policy: f64 = powers.iter().map(|p| p.0).sum::<f64>() / powers.len() as f64;
+        let avg_exact: f64 = powers.iter().map(|p| p.1).sum::<f64>() / powers.len() as f64;
+        println!(
+            "\nscheduler power (quality per compute second, paper §3):\n  \
+             policies {avg_policy:.0} /s   exact solver {avg_exact:.3} /s   ratio {:.0}x",
+            avg_policy / avg_exact.max(1e-12)
+        );
+    }
+    println!(
+        "\npaper reference: avg ~22 jobs, ~2-day makespan, 5-min scale, 0.7% loss, hours of CPLEX time"
+    );
+}

@@ -1,0 +1,225 @@
+//! Decider mechanisms: choosing the next policy from per-policy metric
+//! values.
+//!
+//! The paper discusses two deciders (§2):
+//!
+//! * The **simple decider** "basically consists of three if-then-else
+//!   constructs. It chooses that policy which generates the minimum value."
+//!   Ties are broken by the enumeration order FCFS → SJF → LJF, which is
+//!   what makes it favour FCFS.
+//! * "A detailed analysis of the simple decider showed, that in four cases
+//!   even a wrong decision is made … FCFS is favored in three and SJF in
+//!   one case, although staying with the old policy is the correct decision
+//!   with these cases. This is implemented in the **advanced decider**."
+//!
+//! Generalized over an arbitrary policy list, the advanced decider keeps
+//! the incumbent whenever the incumbent is among the best; the simple
+//! decider ignores the incumbent entirely. A **sticky** decider (extension,
+//! for ablations) additionally requires the challenger to win by a relative
+//! margin before switching, damping oscillation.
+
+use dynp_sched::{Metric, Policy};
+
+/// A policy-switch decision mechanism.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Decider {
+    /// Paper's simple decider: argmin in enumeration order, incumbent
+    /// ignored.
+    Simple,
+    /// Paper's advanced decider: keep the incumbent on ties with the best.
+    Advanced,
+    /// Extension: switch only if the challenger improves on the incumbent
+    /// by more than `margin` (relative, e.g. `0.05` = 5 %).
+    Sticky {
+        /// Required relative improvement before switching away.
+        margin: f64,
+    },
+}
+
+impl Decider {
+    /// Chooses the next policy.
+    ///
+    /// `evaluations` holds `(policy, metric value)` pairs in the scheduler's
+    /// enumeration order (CCS: FCFS, SJF, LJF); `incumbent` is the currently
+    /// active policy; `metric` defines which direction is better.
+    ///
+    /// # Panics
+    /// Panics if `evaluations` is empty — a self-tuning step without
+    /// policies is a configuration error.
+    pub fn decide(
+        &self,
+        metric: Metric,
+        evaluations: &[(Policy, f64)],
+        incumbent: Policy,
+    ) -> Policy {
+        assert!(!evaluations.is_empty(), "no policies to decide among");
+        // The best value; first occurrence in enumeration order.
+        let mut best = evaluations[0];
+        for &(policy, value) in &evaluations[1..] {
+            if metric.better(value, best.1) {
+                best = (policy, value);
+            }
+        }
+        match self {
+            Decider::Simple => best.0,
+            Decider::Advanced => {
+                // Keep the incumbent if it ties with the best.
+                match evaluations
+                    .iter()
+                    .find(|(p, _)| *p == incumbent)
+                    .map(|&(_, v)| v)
+                {
+                    Some(inc_value) if !metric.better(best.1, inc_value) => incumbent,
+                    _ => best.0,
+                }
+            }
+            Decider::Sticky { margin } => {
+                let Some(inc_value) = evaluations
+                    .iter()
+                    .find(|(p, _)| *p == incumbent)
+                    .map(|&(_, v)| v)
+                else {
+                    return best.0;
+                };
+                if !metric.better(best.1, inc_value) {
+                    return incumbent;
+                }
+                // Relative improvement of the challenger over the incumbent.
+                let improvement = if metric.lower_is_better() {
+                    if inc_value == 0.0 {
+                        0.0
+                    } else {
+                        (inc_value - best.1) / inc_value
+                    }
+                } else if best.1 == 0.0 {
+                    0.0
+                } else {
+                    (best.1 - inc_value) / best.1
+                };
+                if improvement > *margin {
+                    best.0
+                } else {
+                    incumbent
+                }
+            }
+        }
+    }
+
+    /// Short name for experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Decider::Simple => "simple",
+            Decider::Advanced => "advanced",
+            Decider::Sticky { .. } => "sticky",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Policy::{Fcfs, Ljf, Sjf};
+
+    const M: Metric = Metric::SldwA; // lower is better
+
+    fn evals(f: f64, s: f64, l: f64) -> Vec<(Policy, f64)> {
+        vec![(Fcfs, f), (Sjf, s), (Ljf, l)]
+    }
+
+    #[test]
+    fn simple_picks_strict_minimum() {
+        assert_eq!(Decider::Simple.decide(M, &evals(3.0, 1.0, 2.0), Fcfs), Sjf);
+        assert_eq!(Decider::Simple.decide(M, &evals(1.0, 2.0, 3.0), Ljf), Fcfs);
+        assert_eq!(Decider::Simple.decide(M, &evals(3.0, 2.0, 1.0), Fcfs), Ljf);
+    }
+
+    #[test]
+    fn simple_favours_enumeration_order_on_ties() {
+        // The three FCFS-favouring wrong cases of [14]:
+        assert_eq!(Decider::Simple.decide(M, &evals(1.0, 1.0, 2.0), Sjf), Fcfs);
+        assert_eq!(Decider::Simple.decide(M, &evals(1.0, 2.0, 1.0), Ljf), Fcfs);
+        assert_eq!(Decider::Simple.decide(M, &evals(1.0, 1.0, 1.0), Ljf), Fcfs);
+        // … and the SJF-favouring one:
+        assert_eq!(Decider::Simple.decide(M, &evals(2.0, 1.0, 1.0), Ljf), Sjf);
+    }
+
+    #[test]
+    fn advanced_fixes_the_four_wrong_cases() {
+        // Staying with the incumbent is correct in all four tie cases.
+        assert_eq!(Decider::Advanced.decide(M, &evals(1.0, 1.0, 2.0), Sjf), Sjf);
+        assert_eq!(Decider::Advanced.decide(M, &evals(1.0, 2.0, 1.0), Ljf), Ljf);
+        assert_eq!(Decider::Advanced.decide(M, &evals(1.0, 1.0, 1.0), Ljf), Ljf);
+        assert_eq!(Decider::Advanced.decide(M, &evals(2.0, 1.0, 1.0), Ljf), Ljf);
+    }
+
+    #[test]
+    fn advanced_still_switches_on_strict_improvement() {
+        assert_eq!(
+            Decider::Advanced.decide(M, &evals(2.0, 1.0, 3.0), Fcfs),
+            Sjf
+        );
+        assert_eq!(
+            Decider::Advanced.decide(M, &evals(0.5, 1.0, 3.0), Ljf),
+            Fcfs
+        );
+    }
+
+    #[test]
+    fn advanced_without_incumbent_in_set_falls_back_to_best() {
+        // Incumbent SAF isn't part of the evaluated set.
+        assert_eq!(
+            Decider::Advanced.decide(M, &evals(2.0, 1.0, 3.0), Policy::Saf),
+            Sjf
+        );
+    }
+
+    #[test]
+    fn sticky_requires_margin() {
+        let d = Decider::Sticky { margin: 0.10 };
+        // 5% better than incumbent: stay.
+        assert_eq!(d.decide(M, &evals(1.0, 0.95, 2.0), Fcfs), Fcfs);
+        // 20% better: switch.
+        assert_eq!(d.decide(M, &evals(1.0, 0.80, 2.0), Fcfs), Sjf);
+        // Ties: stay.
+        assert_eq!(d.decide(M, &evals(1.0, 1.0, 1.0), Sjf), Sjf);
+    }
+
+    #[test]
+    fn sticky_zero_margin_equals_advanced() {
+        let sticky = Decider::Sticky { margin: 0.0 };
+        for evals_case in [
+            evals(1.0, 1.0, 2.0),
+            evals(2.0, 1.0, 3.0),
+            evals(1.0, 2.0, 1.0),
+            evals(3.0, 2.0, 1.0),
+        ] {
+            for incumbent in [Fcfs, Sjf, Ljf] {
+                assert_eq!(
+                    sticky.decide(M, &evals_case, incumbent),
+                    Decider::Advanced.decide(M, &evals_case, incumbent),
+                    "case {evals_case:?} incumbent {incumbent:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn higher_is_better_metrics_invert_comparison() {
+        let m = Metric::Utilization;
+        assert_eq!(Decider::Simple.decide(m, &evals(0.2, 0.9, 0.5), Fcfs), Sjf);
+        assert_eq!(Decider::Advanced.decide(m, &evals(0.9, 0.9, 0.5), Sjf), Sjf);
+    }
+
+    #[test]
+    #[should_panic(expected = "no policies")]
+    fn empty_evaluations_panics() {
+        Decider::Simple.decide(M, &[], Fcfs);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Decider::Simple.name(), "simple");
+        assert_eq!(Decider::Advanced.name(), "advanced");
+        assert_eq!(Decider::Sticky { margin: 0.1 }.name(), "sticky");
+    }
+}

@@ -1,0 +1,76 @@
+//! The policy-selection interface the RMS simulator drives.
+//!
+//! At every (re-)planning point the simulator asks its selector which
+//! policy to plan with. A [`FixedPolicy`] never changes — the baseline the
+//! paper's context experiments compare against — while [`SelfTuning`]
+//! performs a full self-tuning step.
+
+use crate::tuner::SelfTuning;
+use dynp_sched::{Policy, SchedulingProblem};
+
+/// Chooses the scheduling policy for a quasi-off-line snapshot.
+pub trait PolicySelector {
+    /// Returns the policy to plan this snapshot with. Implementations may
+    /// mutate internal state (e.g. perform a self-tuning step).
+    fn select(&mut self, problem: &SchedulingProblem) -> Policy;
+
+    /// Human-readable label for result tables.
+    fn label(&self) -> String;
+}
+
+/// A selector that always answers with the same policy.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedPolicy(pub Policy);
+
+impl PolicySelector for FixedPolicy {
+    fn select(&mut self, _problem: &SchedulingProblem) -> Policy {
+        self.0
+    }
+
+    fn label(&self) -> String {
+        self.0.name().to_string()
+    }
+}
+
+impl PolicySelector for SelfTuning {
+    fn select(&mut self, problem: &SchedulingProblem) -> Policy {
+        self.step(problem).chosen
+    }
+
+    fn label(&self) -> String {
+        format!("dynP({})", self.metric())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_sched::Metric;
+    use dynp_trace::Job;
+
+    #[test]
+    fn fixed_policy_never_switches() {
+        let mut sel = FixedPolicy(Policy::Ljf);
+        let p = SchedulingProblem::on_empty_machine(0, 4, vec![Job::exact(0, 0, 1, 10)]);
+        assert_eq!(sel.select(&p), Policy::Ljf);
+        assert_eq!(sel.select(&p), Policy::Ljf);
+        assert_eq!(sel.label(), "LJF");
+    }
+
+    #[test]
+    fn self_tuning_selector_tracks_tuner_state() {
+        let mut sel = SelfTuning::paper_config(Metric::SldwA);
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            4,
+            vec![
+                Job::exact(0, 0, 4, 10_000),
+                Job::exact(1, 0, 4, 100),
+                Job::exact(2, 0, 4, 100),
+            ],
+        );
+        assert_eq!(sel.select(&p), Policy::Sjf);
+        assert_eq!(sel.active(), Policy::Sjf);
+        assert_eq!(sel.label(), "dynP(SLDwA)");
+    }
+}

@@ -1,0 +1,134 @@
+//! Switch statistics of a dynP run: how often the scheduler switched and
+//! how long each policy stayed active.
+//!
+//! Reference \[14\] analyses dynP by how the deciders behave over a trace; the
+//! `decider_ablation` experiment (DESIGN.md §3) reports these numbers, so
+//! they are collected here as part of the tuner.
+
+use dynp_sched::Policy;
+use std::collections::HashMap;
+
+/// One recorded policy transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Simulation time of the self-tuning step.
+    pub time: u64,
+    /// Policy before the step.
+    pub from: Policy,
+    /// Policy after the step.
+    pub to: Policy,
+}
+
+/// Accumulated statistics over all self-tuning steps of a run.
+#[derive(Clone, Debug, Default)]
+pub struct TuningStats {
+    steps: usize,
+    transitions: Vec<Transition>,
+    /// Residency: seconds each policy has been the active one, attributed
+    /// between consecutive steps.
+    residency: HashMap<Policy, u64>,
+    last_step: Option<(u64, Policy)>,
+}
+
+impl TuningStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> TuningStats {
+        TuningStats::default()
+    }
+
+    /// Records one self-tuning step at `time` that moved `from` → `to`
+    /// (equal when no switch happened).
+    pub fn record(&mut self, time: u64, from: Policy, to: Policy) {
+        self.steps += 1;
+        if let Some((prev_time, prev_policy)) = self.last_step {
+            // The previously chosen policy was active from the previous
+            // step until now.
+            *self.residency.entry(prev_policy).or_insert(0) += time.saturating_sub(prev_time);
+        }
+        if from != to {
+            self.transitions.push(Transition { time, from, to });
+        }
+        self.last_step = Some((time, to));
+    }
+
+    /// Number of self-tuning steps executed.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of actual policy switches.
+    pub fn switches(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// All recorded transitions in time order.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Seconds each policy was active (between first and last step).
+    pub fn residency(&self) -> &HashMap<Policy, u64> {
+        &self.residency
+    }
+
+    /// Fraction of steps that switched the policy.
+    pub fn switch_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.transitions.len() as f64 / self.steps as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Policy::{Fcfs, Ljf, Sjf};
+
+    #[test]
+    fn counts_steps_and_switches() {
+        let mut s = TuningStats::new();
+        s.record(0, Fcfs, Fcfs);
+        s.record(10, Fcfs, Sjf);
+        s.record(20, Sjf, Sjf);
+        s.record(30, Sjf, Ljf);
+        assert_eq!(s.steps(), 4);
+        assert_eq!(s.switches(), 2);
+        assert!((s.switch_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transitions_record_endpoints() {
+        let mut s = TuningStats::new();
+        s.record(10, Fcfs, Sjf);
+        assert_eq!(
+            s.transitions(),
+            &[Transition {
+                time: 10,
+                from: Fcfs,
+                to: Sjf
+            }]
+        );
+    }
+
+    #[test]
+    fn residency_attributes_time_between_steps() {
+        let mut s = TuningStats::new();
+        s.record(0, Fcfs, Sjf); // SJF active from 0
+        s.record(100, Sjf, Ljf); // SJF held 100s; LJF active from 100
+        s.record(150, Ljf, Ljf); // LJF held 50s
+        assert_eq!(s.residency()[&Sjf], 100);
+        assert_eq!(s.residency()[&Ljf], 50);
+        assert!(!s.residency().contains_key(&Fcfs));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = TuningStats::new();
+        assert_eq!(s.steps(), 0);
+        assert_eq!(s.switches(), 0);
+        assert_eq!(s.switch_rate(), 0.0);
+        assert!(s.residency().is_empty());
+    }
+}

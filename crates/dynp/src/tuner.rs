@@ -1,0 +1,243 @@
+//! The self-tuning step: evaluate every policy's full schedule, decide,
+//! switch.
+//!
+//! "The self-tuning dynP scheduler computes full schedules for each
+//! available policy … These schedules are evaluated by means of a
+//! performance metrics. Thereby, the performance of each policy is
+//! expressed by a single value. These values are compared and a decider
+//! mechanism chooses the best policy." (§2)
+
+use crate::decider::Decider;
+use crate::stats::TuningStats;
+use dynp_sched::{plan, Metric, Policy, Schedule, SchedulingProblem};
+
+/// Result of one self-tuning step.
+#[derive(Clone, Debug)]
+pub struct TuningOutcome {
+    /// The policy active before the step.
+    pub previous: Policy,
+    /// The policy chosen by the decider.
+    pub chosen: Policy,
+    /// Whether the step switched policies.
+    pub switched: bool,
+    /// Per-policy metric values, in enumeration order.
+    pub evaluations: Vec<(Policy, f64)>,
+    /// The full schedule planned under the chosen policy — the RMS installs
+    /// exactly this plan, so callers never need to re-plan.
+    pub schedule: Schedule,
+}
+
+/// The self-tuning dynP scheduler state.
+#[derive(Clone, Debug)]
+pub struct SelfTuning {
+    policies: Vec<Policy>,
+    metric: Metric,
+    decider: Decider,
+    active: Policy,
+    stats: TuningStats,
+}
+
+impl SelfTuning {
+    /// dynP over an explicit policy set. The first policy is the initial
+    /// active one.
+    ///
+    /// # Panics
+    /// Panics on an empty policy set.
+    pub fn new(policies: Vec<Policy>, metric: Metric, decider: Decider) -> SelfTuning {
+        assert!(!policies.is_empty(), "dynP needs at least one policy");
+        let active = policies[0];
+        SelfTuning {
+            policies,
+            metric,
+            decider,
+            active,
+            stats: TuningStats::new(),
+        }
+    }
+
+    /// The paper's configuration: FCFS/SJF/LJF, deciding by the given
+    /// metric with the advanced decider.
+    pub fn paper_config(metric: Metric) -> SelfTuning {
+        SelfTuning::new(Policy::PAPER_SET.to_vec(), metric, Decider::Advanced)
+    }
+
+    /// Currently active policy.
+    pub fn active(&self) -> Policy {
+        self.active
+    }
+
+    /// Metric used for schedule evaluation.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The policy enumeration this instance tunes over.
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    /// Accumulated switch statistics.
+    pub fn stats(&self) -> &TuningStats {
+        &self.stats
+    }
+
+    /// Executes one self-tuning step on a quasi-off-line snapshot: plans a
+    /// full schedule per policy, evaluates, decides, switches, and returns
+    /// the chosen policy's schedule.
+    ///
+    /// An empty snapshot (no waiting jobs) performs no evaluation and keeps
+    /// the active policy, mirroring a real RMS where there is nothing to
+    /// re-order.
+    pub fn step(&mut self, problem: &SchedulingProblem) -> TuningOutcome {
+        let previous = self.active;
+        if problem.is_empty() {
+            return TuningOutcome {
+                previous,
+                chosen: previous,
+                switched: false,
+                evaluations: Vec::new(),
+                schedule: Schedule::new(),
+            };
+        }
+        let mut evaluations = Vec::with_capacity(self.policies.len());
+        let mut schedules = Vec::with_capacity(self.policies.len());
+        for &policy in &self.policies {
+            let schedule = plan(problem, policy);
+            evaluations.push((policy, self.metric.eval(problem, &schedule)));
+            schedules.push(schedule);
+        }
+        let chosen = self.decider.decide(self.metric, &evaluations, previous);
+        let idx = self
+            .policies
+            .iter()
+            .position(|&p| p == chosen)
+            .expect("decider returned an evaluated policy");
+        let schedule = schedules.swap_remove(idx);
+        let switched = chosen != previous;
+        self.active = chosen;
+        self.stats.record(problem.now, previous, chosen);
+        TuningOutcome {
+            previous,
+            chosen,
+            switched,
+            evaluations,
+            schedule,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_trace::Job;
+
+    /// Snapshot where SJF clearly wins on SLDwA: one long and several short
+    /// jobs competing for the same resources.
+    fn sjf_friendly() -> SchedulingProblem {
+        SchedulingProblem::on_empty_machine(
+            0,
+            4,
+            vec![
+                Job::exact(0, 0, 4, 10_000),
+                Job::exact(1, 0, 4, 100),
+                Job::exact(2, 0, 4, 100),
+                Job::exact(3, 0, 4, 100),
+            ],
+        )
+    }
+
+    /// Snapshot where all policies coincide: a single job.
+    fn trivial() -> SchedulingProblem {
+        SchedulingProblem::on_empty_machine(0, 4, vec![Job::exact(0, 0, 2, 100)])
+    }
+
+    #[test]
+    fn switches_to_sjf_when_it_wins() {
+        let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+        assert_eq!(dynp.active(), Policy::Fcfs);
+        let out = dynp.step(&sjf_friendly());
+        assert_eq!(out.chosen, Policy::Sjf);
+        assert!(out.switched);
+        assert_eq!(dynp.active(), Policy::Sjf);
+        // SJF's value must be the minimum of the evaluations.
+        let sjf_val = out
+            .evaluations
+            .iter()
+            .find(|(p, _)| *p == Policy::Sjf)
+            .unwrap()
+            .1;
+        for &(_, v) in &out.evaluations {
+            assert!(sjf_val <= v);
+        }
+    }
+
+    #[test]
+    fn advanced_decider_stays_on_ties() {
+        let mut dynp =
+            SelfTuning::new(Policy::PAPER_SET.to_vec(), Metric::SldwA, Decider::Advanced);
+        // Move to SJF first.
+        dynp.step(&sjf_friendly());
+        assert_eq!(dynp.active(), Policy::Sjf);
+        // On a trivial snapshot every policy ties; advanced stays with SJF.
+        let out = dynp.step(&trivial());
+        assert_eq!(out.chosen, Policy::Sjf);
+        assert!(!out.switched);
+    }
+
+    #[test]
+    fn simple_decider_flips_back_to_fcfs_on_ties() {
+        let mut dynp = SelfTuning::new(Policy::PAPER_SET.to_vec(), Metric::SldwA, Decider::Simple);
+        dynp.step(&sjf_friendly());
+        assert_eq!(dynp.active(), Policy::Sjf);
+        let out = dynp.step(&trivial());
+        // The documented wrong decision: simple favours FCFS.
+        assert_eq!(out.chosen, Policy::Fcfs);
+        assert!(out.switched);
+    }
+
+    #[test]
+    fn returned_schedule_is_the_chosen_policys_plan() {
+        let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+        let problem = sjf_friendly();
+        let out = dynp.step(&problem);
+        let expected = plan(&problem, out.chosen);
+        assert_eq!(out.schedule, expected);
+        out.schedule.validate(&problem).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_keeps_policy_and_plans_nothing() {
+        let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+        let out = dynp.step(&SchedulingProblem::on_empty_machine(0, 4, vec![]));
+        assert!(!out.switched);
+        assert!(out.schedule.is_empty());
+        assert!(out.evaluations.is_empty());
+    }
+
+    #[test]
+    fn stats_count_steps_and_switches() {
+        let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+        dynp.step(&sjf_friendly()); // FCFS -> SJF
+        dynp.step(&trivial()); // stays (advanced)
+        let s = dynp.stats();
+        assert_eq!(s.steps(), 2);
+        assert_eq!(s.switches(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn empty_policy_set_panics() {
+        SelfTuning::new(vec![], Metric::SldwA, Decider::Simple);
+    }
+
+    #[test]
+    fn extension_policies_participate_when_configured() {
+        let mut dynp = SelfTuning::new(
+            vec![Policy::Fcfs, Policy::Saf, Policy::Laf],
+            Metric::ArtwW,
+            Decider::Advanced,
+        );
+        let out = dynp.step(&sjf_friendly());
+        assert_eq!(out.evaluations.len(), 3);
+    }
+}

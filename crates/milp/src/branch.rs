@@ -1,0 +1,667 @@
+//! Best-first branch & bound over the LP relaxation.
+//!
+//! This is the "CPLEX" of the reproduction: an exact solver for the mixed
+//! 0/1 programs produced by [`crate::timeindex`]. Design choices:
+//!
+//! * **Best-first** node selection on the LP bound: the first time the best
+//!   open bound reaches the incumbent, optimality is proven — mirroring how
+//!   MIP solvers close the gap.
+//! * **Most-fractional branching** with deterministic tie-breaking.
+//! * **Integral-objective rounding**: when every variable is integral and
+//!   every objective coefficient is an integer, a node bound `b` can be
+//!   lifted to `ceil(b)`, which prunes aggressively on scheduling models
+//!   whose objective counts weighted slots.
+//! * **Incumbent seeding**: the caller can install a known feasible point
+//!   (here: the best dynP policy schedule) before solving, exactly the
+//!   "warm start" a practitioner would give CPLEX.
+//! * **Primal rounding heuristic** hook invoked on fractional LP solutions
+//!   to tighten the incumbent early.
+//!
+//! Limits are deterministic (node count) plus an optional wall-clock limit
+//! for the experiment harness, which reproduces the paper's "CPLEX is still
+//! solving the previous problem" regime.
+
+use crate::model::Milp;
+use crate::simplex::{solve_lp_with_start, LpOutcome, LpSolution, SimplexStart};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+/// Integrality tolerance.
+const INT_TOL: f64 = 1e-6;
+/// Bound comparison tolerance.
+const BOUND_TOL: f64 = 1e-9;
+
+/// Resource limits for one solve.
+#[derive(Clone, Copy, Debug)]
+pub struct BranchLimits {
+    /// Maximum branch & bound nodes to explore.
+    pub max_nodes: usize,
+    /// Simplex iteration budget per LP solve.
+    pub max_lp_iterations: usize,
+    /// Optional wall-clock limit (use node limits in tests for
+    /// determinism).
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for BranchLimits {
+    fn default() -> Self {
+        BranchLimits {
+            max_nodes: 1_000_000,
+            // Generous for the LP sizes the harness builds (hundreds of
+            // rows); a cap keeps one degenerate LP from eating the whole
+            // node budget's worth of time.
+            max_lp_iterations: 200_000,
+            time_limit: None,
+        }
+    }
+}
+
+/// Final status of a solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Incumbent proven optimal.
+    Optimal,
+    /// A feasible incumbent exists but a limit stopped the proof.
+    Feasible,
+    /// Proven infeasible.
+    Infeasible,
+    /// A limit stopped the search before any incumbent was found.
+    Unknown,
+}
+
+/// Result of a solve.
+#[derive(Clone, Debug)]
+pub struct MipSolution {
+    /// Outcome status.
+    pub status: MipStatus,
+    /// Incumbent objective, if any.
+    pub objective: Option<f64>,
+    /// Incumbent point, if any.
+    pub x: Option<Vec<f64>>,
+    /// Best lower bound proven over the whole tree.
+    pub best_bound: f64,
+    /// Nodes explored.
+    pub nodes: usize,
+    /// Total simplex iterations.
+    pub lp_iterations: usize,
+    /// Wall time spent.
+    pub wall_time: Duration,
+}
+
+impl MipSolution {
+    /// Relative optimality gap `(obj - bound) / max(|obj|, 1)`;
+    /// `None` without an incumbent.
+    pub fn gap(&self) -> Option<f64> {
+        let obj = self.objective?;
+        Some((obj - self.best_bound).max(0.0) / obj.abs().max(1.0))
+    }
+}
+
+/// A primal heuristic: turn a fractional LP solution into a feasible
+/// integral point (or give up with `None`). The solver validates the
+/// result, so a buggy heuristic cannot corrupt exactness.
+pub type PrimalHeuristic<'a> = Box<dyn Fn(&Milp, &LpSolution) -> Option<Vec<f64>> + 'a>;
+
+/// A crash-basis provider: given a node's bound vectors, produce a
+/// primal-feasible starting basis so the LP skips phase 1. The simplex
+/// verifies the basis, so a wrong crash costs time, never correctness.
+pub type CrashHook<'a> = Box<dyn Fn(&[f64], &[f64]) -> Option<SimplexStart> + 'a>;
+
+/// A custom brancher: given the fractional LP solution, return bound
+/// modifications `(var, new_lower, new_upper)` for the two children.
+///
+/// **Exactness contract**: the two children must cover every integral
+/// point of the parent (a partition of the feasible set), otherwise the
+/// solver can silently cut off the optimum. Returning `None` falls back to
+/// most-fractional single-variable branching, which always satisfies the
+/// contract.
+pub type BranchHook<'a> = Box<
+    dyn Fn(&Milp, &LpSolution) -> Option<(Vec<(usize, f64, f64)>, Vec<(usize, f64, f64)>)> + 'a,
+>;
+
+/// Branch & bound driver.
+pub struct BranchBound<'a> {
+    model: &'a Milp,
+    limits: BranchLimits,
+    heuristic: Option<PrimalHeuristic<'a>>,
+    crash: Option<CrashHook<'a>>,
+    brancher: Option<BranchHook<'a>>,
+    incumbent: Option<(f64, Vec<f64>)>,
+    /// Objective provably integral on integral points (enables bound
+    /// ceiling).
+    integral_objective: bool,
+}
+
+#[derive(Debug)]
+struct Node {
+    bound: f64,
+    id: u64,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Node {}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (bound, id): reverse for BinaryHeap.
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
+            .then(other.id.cmp(&self.id))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a> BranchBound<'a> {
+    /// A solver for `model` with the given limits.
+    pub fn new(model: &'a Milp, limits: BranchLimits) -> BranchBound<'a> {
+        let integral_objective = model.integral.iter().all(|&f| f)
+            && model
+                .objective
+                .iter()
+                .all(|c| (c - c.round()).abs() < 1e-12);
+        BranchBound {
+            model,
+            limits,
+            heuristic: None,
+            crash: None,
+            brancher: None,
+            incumbent: None,
+            integral_objective,
+        }
+    }
+
+    /// Installs a crash-basis provider (see [`CrashHook`]).
+    pub fn with_crash(mut self, crash: CrashHook<'a>) -> Self {
+        self.crash = Some(crash);
+        self
+    }
+
+    /// Installs a custom brancher (see [`BranchHook`] for the exactness
+    /// contract).
+    pub fn with_brancher(mut self, brancher: BranchHook<'a>) -> Self {
+        self.brancher = Some(brancher);
+        self
+    }
+
+    /// Installs a primal rounding heuristic.
+    pub fn with_heuristic(mut self, heuristic: PrimalHeuristic<'a>) -> Self {
+        self.heuristic = Some(heuristic);
+        self
+    }
+
+    /// Seeds a known feasible point as the starting incumbent.
+    ///
+    /// # Panics
+    /// Panics if the point is infeasible or fractional — a wrong seed would
+    /// silently destroy exactness, so it is rejected loudly.
+    pub fn with_incumbent(mut self, x: Vec<f64>) -> Self {
+        self.model
+            .check_feasible(&x, 1e-6)
+            .unwrap_or_else(|e| panic!("seed incumbent infeasible: {e}"));
+        assert!(
+            self.model.is_integral(&x, INT_TOL),
+            "seed incumbent is fractional"
+        );
+        let obj = self.model.objective_value(&x);
+        self.offer_incumbent(obj, x);
+        self
+    }
+
+    fn offer_incumbent(&mut self, obj: f64, x: Vec<f64>) {
+        if self
+            .incumbent
+            .as_ref()
+            .is_none_or(|(best, _)| obj < best - BOUND_TOL)
+        {
+            self.incumbent = Some((obj, x));
+        }
+    }
+
+    /// Lifts an LP bound using objective integrality when available.
+    fn lift(&self, bound: f64) -> f64 {
+        if self.integral_objective {
+            (bound - 1e-6).ceil()
+        } else {
+            bound
+        }
+    }
+
+    /// Runs the search to completion or a limit.
+    pub fn solve(mut self) -> MipSolution {
+        let start = Instant::now();
+        let mut nodes_explored = 0usize;
+        let mut lp_iterations = 0usize;
+        let mut next_id = 0u64;
+        let mut hit_limit = false;
+        // Global lower bound starts at -inf and is the min over open nodes.
+        let mut heap = BinaryHeap::new();
+        heap.push(Node {
+            bound: f64::NEG_INFINITY,
+            id: next_id,
+            lower: self.model.lower.clone(),
+            upper: self.model.upper.clone(),
+        });
+        next_id += 1;
+        let mut proven_bound = f64::NEG_INFINITY;
+        while let Some(node) = heap.pop() {
+            // Best-first: the popped node carries the least bound of all
+            // open nodes; everything proven so far is at least this.
+            proven_bound = proven_bound.max(node.bound);
+            if let Some((best, _)) = &self.incumbent {
+                if node.bound >= best - BOUND_TOL {
+                    // Optimality proven: every open node is no better.
+                    proven_bound = *best;
+                    break;
+                }
+            }
+            if nodes_explored >= self.limits.max_nodes {
+                hit_limit = true;
+                break;
+            }
+            if let Some(limit) = self.limits.time_limit {
+                if start.elapsed() >= limit {
+                    hit_limit = true;
+                    break;
+                }
+            }
+            nodes_explored += 1;
+            let start = self
+                .crash
+                .as_ref()
+                .and_then(|crash| crash(&node.lower, &node.upper));
+            let outcome = solve_lp_with_start(
+                self.model,
+                &node.lower,
+                &node.upper,
+                start.as_ref(),
+                self.limits.max_lp_iterations,
+            );
+            let sol = match outcome {
+                LpOutcome::Infeasible => continue,
+                LpOutcome::Optimal(s) => s,
+                LpOutcome::Unbounded | LpOutcome::IterationLimit => {
+                    // Cannot bound this node; exactness is lost if we drop
+                    // it, so surface the failure as a limit.
+                    hit_limit = true;
+                    continue;
+                }
+            };
+            lp_iterations += sol.iterations;
+            let bound = self.lift(sol.objective);
+            if let Some((best, _)) = &self.incumbent {
+                if bound >= best - BOUND_TOL {
+                    continue; // pruned by bound
+                }
+            }
+            // Reduced-cost fixing (valid for this node's whole subtree):
+            // forcing a nonbasic variable off its bound raises the LP value
+            // by at least its reduced cost; if that lifted value reaches
+            // the incumbent, the variable can be pinned to its bound.
+            let mut node = node;
+            if let Some((best, _)) = &self.incumbent {
+                for (j, &d) in sol.reduced_costs.iter().enumerate() {
+                    if !self.model.integral[j] || node.lower[j] == node.upper[j] {
+                        continue;
+                    }
+                    if d > 0.0 && sol.x[j] <= node.lower[j] + INT_TOL {
+                        if self.lift(sol.objective + d) >= best - BOUND_TOL {
+                            node.upper[j] = node.lower[j];
+                        }
+                    } else if d < 0.0
+                        && sol.x[j] >= node.upper[j] - INT_TOL
+                        && self.lift(sol.objective - d) >= best - BOUND_TOL
+                    {
+                        node.lower[j] = node.upper[j];
+                    }
+                }
+            }
+            // Integral? New incumbent.
+            if self.model.is_integral(&sol.x, INT_TOL) {
+                let rounded: Vec<f64> = sol
+                    .x
+                    .iter()
+                    .zip(&self.model.integral)
+                    .map(|(&v, &f)| if f { v.round() } else { v })
+                    .collect();
+                // Guard against numerical drift: only a verified-feasible
+                // point may prune the tree. A failed check degrades the
+                // final status to Feasible instead of corrupting exactness.
+                if self.model.check_feasible(&rounded, 1e-5).is_ok() {
+                    let obj = self.model.objective_value(&rounded);
+                    self.offer_incumbent(obj, rounded);
+                } else {
+                    debug_assert!(false, "integral LP point failed feasibility");
+                    hit_limit = true;
+                }
+                continue;
+            }
+            // Primal heuristic on fractional solutions.
+            if let Some(h) = &self.heuristic {
+                if let Some(hx) = h(self.model, &sol) {
+                    if self.model.check_feasible(&hx, 1e-6).is_ok()
+                        && self.model.is_integral(&hx, INT_TOL)
+                    {
+                        let obj = self.model.objective_value(&hx);
+                        self.offer_incumbent(obj, hx);
+                    }
+                }
+            }
+            // Custom (e.g. SOS) branching first, when installed.
+            if let Some(brancher) = &self.brancher {
+                if let Some((mods_a, mods_b)) = brancher(self.model, &sol) {
+                    for mods in [mods_a, mods_b] {
+                        let mut child = Node {
+                            bound,
+                            id: next_id,
+                            lower: node.lower.clone(),
+                            upper: node.upper.clone(),
+                        };
+                        next_id += 1;
+                        let mut feasible = true;
+                        for (var, lo, hi) in mods {
+                            child.lower[var] = child.lower[var].max(lo);
+                            child.upper[var] = child.upper[var].min(hi);
+                            if child.lower[var] > child.upper[var] {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                        if feasible {
+                            heap.push(child);
+                        }
+                    }
+                    continue;
+                }
+            }
+            // Branch on the most fractional integral variable.
+            let branch_var = sol
+                .x
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| self.model.integral[j])
+                .map(|(j, &v)| (j, (v - v.round()).abs()))
+                .filter(|&(_, frac)| frac > INT_TOL)
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal))
+                .map(|(j, _)| j)
+                .expect("fractional solution has a fractional integral var");
+            let v = sol.x[branch_var];
+            // Down child: x_j <= floor(v); up child: x_j >= ceil(v).
+            let mut down = Node {
+                bound,
+                id: next_id,
+                lower: node.lower.clone(),
+                upper: node.upper.clone(),
+            };
+            next_id += 1;
+            down.upper[branch_var] = v.floor();
+            if down.lower[branch_var] <= down.upper[branch_var] {
+                heap.push(down);
+            }
+            let mut up = Node {
+                bound,
+                id: next_id,
+                lower: node.lower,
+                upper: node.upper,
+            };
+            next_id += 1;
+            up.lower[branch_var] = v.ceil();
+            if up.lower[branch_var] <= up.upper[branch_var] {
+                heap.push(up);
+            }
+        }
+        // If the tree is exhausted, the proof is complete.
+        let exhausted = heap.is_empty() && !hit_limit;
+        let (status, objective, x) = match (self.incumbent, exhausted) {
+            (Some((obj, x)), true) => (MipStatus::Optimal, Some(obj), Some(x)),
+            (Some((obj, x)), false) => {
+                // Stopped early — the incumbent may or may not be optimal.
+                // If the break came from the bound test, it *is* optimal.
+                let status = if hit_limit {
+                    MipStatus::Feasible
+                } else {
+                    MipStatus::Optimal
+                };
+                (status, Some(obj), Some(x))
+            }
+            (None, true) => (MipStatus::Infeasible, None, None),
+            (None, false) => (MipStatus::Unknown, None, None),
+        };
+        let best_bound = match status {
+            MipStatus::Optimal => objective.unwrap(),
+            _ => heap
+                .peek()
+                .map(|n| n.bound)
+                .unwrap_or(proven_bound)
+                .max(proven_bound),
+        };
+        MipSolution {
+            status,
+            objective,
+            x,
+            best_bound,
+            nodes: nodes_explored,
+            lp_iterations,
+            wall_time: start.elapsed(),
+        }
+    }
+}
+
+/// Convenience: solve `model` with `limits`.
+pub fn solve_mip(model: &Milp, limits: BranchLimits) -> MipSolution {
+    BranchBound::new(model, limits).solve()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+    use crate::sparse::CscMatrix;
+
+    /// Brute-force optimum over {0,1}^n for cross-checking.
+    fn brute_force(model: &Milp) -> Option<(f64, Vec<f64>)> {
+        let n = model.num_vars();
+        assert!(n <= 20);
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for mask in 0u32..(1 << n) {
+            let x: Vec<f64> = (0..n).map(|j| ((mask >> j) & 1) as f64).collect();
+            if model.check_feasible(&x, 1e-9).is_ok() {
+                let obj = model.objective_value(&x);
+                if best.as_ref().is_none_or(|(b, _)| obj < *b) {
+                    best = Some((obj, x));
+                }
+            }
+        }
+        best
+    }
+
+    fn knapsack(values: &[f64], weights: &[f64], cap: f64) -> Milp {
+        // max v.x s.t. w.x <= cap -> min -v.x
+        Milp::binary(
+            values.iter().map(|v| -v).collect(),
+            CscMatrix::from_dense(&[weights.to_vec()]),
+            vec![Sense::Le],
+            vec![cap],
+        )
+    }
+
+    #[test]
+    fn knapsack_optimum_matches_brute_force() {
+        let m = knapsack(
+            &[10.0, 13.0, 7.0, 8.0, 2.0],
+            &[5.0, 6.0, 3.0, 4.0, 1.0],
+            10.0,
+        );
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.status, MipStatus::Optimal);
+        let (bf_obj, _) = brute_force(&m).unwrap();
+        assert!((sol.objective.unwrap() - bf_obj).abs() < 1e-6);
+        assert!((sol.best_bound - bf_obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_problem_exact() {
+        // 3 jobs, 3 slots, each slot holds one job; costs force a unique
+        // optimal matching.
+        let costs = [[4.0, 2.0, 8.0], [4.0, 3.0, 7.0], [3.0, 1.0, 6.0]];
+        let n = 3;
+        let mut rows = vec![vec![0.0; n * n]; 2 * n];
+        for i in 0..n {
+            for t in 0..n {
+                rows[i][i * n + t] = 1.0; // job i assigned once
+                rows[n + t][i * n + t] = 1.0; // slot t used once
+            }
+        }
+        let mut senses = vec![Sense::Eq; n];
+        senses.extend(vec![Sense::Le; n]);
+        let mut rhs = vec![1.0; n];
+        rhs.extend(vec![1.0; n]);
+        let m = Milp::binary(
+            costs.iter().flatten().copied().collect(),
+            CscMatrix::from_dense(&rows),
+            senses,
+            rhs,
+        );
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.status, MipStatus::Optimal);
+        let (bf_obj, _) = brute_force(&m).unwrap();
+        assert!((sol.objective.unwrap() - bf_obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_model_detected() {
+        // x0 + x1 >= 3 with binaries.
+        let m = Milp::binary(
+            vec![1.0, 1.0],
+            CscMatrix::from_dense(&[vec![1.0, 1.0]]),
+            vec![Sense::Ge],
+            vec![3.0],
+        );
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.status, MipStatus::Infeasible);
+        assert!(sol.objective.is_none());
+    }
+
+    #[test]
+    fn node_limit_degrades_to_feasible_or_unknown() {
+        let m = knapsack(
+            &[10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0],
+            &[5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0],
+            12.0,
+        );
+        let sol = solve_mip(
+            &m,
+            BranchLimits {
+                max_nodes: 1,
+                ..BranchLimits::default()
+            },
+        );
+        assert!(matches!(
+            sol.status,
+            MipStatus::Feasible | MipStatus::Unknown
+        ));
+        // The bound must still be a valid lower bound.
+        let (bf_obj, _) = brute_force(&m).unwrap();
+        assert!(sol.best_bound <= bf_obj + 1e-6);
+    }
+
+    #[test]
+    fn incumbent_seeding_is_used() {
+        let m = knapsack(&[5.0, 4.0], &[3.0, 3.0], 3.0);
+        // Feasible seed: take item 1.
+        let sol = BranchBound::new(&m, BranchLimits::default())
+            .with_incumbent(vec![0.0, 1.0])
+            .solve();
+        assert_eq!(sol.status, MipStatus::Optimal);
+        // Optimum is item 0 (value 5) and must beat the seed (value 4).
+        assert!((sol.objective.unwrap() + 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn bad_seed_is_rejected() {
+        let m = knapsack(&[5.0, 4.0], &[3.0, 3.0], 3.0);
+        let _ = BranchBound::new(&m, BranchLimits::default()).with_incumbent(vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn heuristic_improves_incumbent() {
+        let m = knapsack(&[10.0, 13.0, 7.0], &[5.0, 6.0, 3.0], 8.0);
+        let called = std::cell::Cell::new(false);
+        let sol = BranchBound::new(&m, BranchLimits::default())
+            .with_heuristic(Box::new(|model, lp| {
+                called.set(true);
+                // Greedy rounding: take items by LP weight while feasible.
+                let mut order: Vec<usize> = (0..lp.x.len()).collect();
+                order.sort_by(|&a, &b| lp.x[b].partial_cmp(&lp.x[a]).unwrap());
+                let mut x = vec![0.0; lp.x.len()];
+                for j in order {
+                    x[j] = 1.0;
+                    if model.check_feasible(&x, 1e-9).is_err() {
+                        x[j] = 0.0;
+                    }
+                }
+                Some(x)
+            }))
+            .solve();
+        assert_eq!(sol.status, MipStatus::Optimal);
+        let (bf_obj, _) = brute_force(&m).unwrap();
+        assert!((sol.objective.unwrap() - bf_obj).abs() < 1e-6);
+        assert!(called.get(), "heuristic was never invoked");
+    }
+
+    #[test]
+    fn integral_objective_rounding_enabled_for_integer_costs() {
+        let m = knapsack(&[3.0, 2.0], &[2.0, 2.0], 3.0);
+        let bb = BranchBound::new(&m, BranchLimits::default());
+        assert!(bb.integral_objective);
+        assert_eq!(bb.lift(-2.7), -2.0);
+    }
+
+    #[test]
+    fn random_instances_match_brute_force() {
+        // Deterministic pseudo-random small instances.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..25 {
+            let n = 3 + (next() % 5) as usize; // 3..7 vars
+            let values: Vec<f64> = (0..n).map(|_| (next() % 20) as f64).collect();
+            let weights: Vec<f64> = (0..n).map(|_| 1.0 + (next() % 9) as f64).collect();
+            let cap = 1.0 + (next() % 20) as f64;
+            let m = knapsack(&values, &weights, cap);
+            let sol = solve_mip(&m, BranchLimits::default());
+            assert_eq!(sol.status, MipStatus::Optimal);
+            let (bf_obj, _) = brute_force(&m).unwrap();
+            assert!(
+                (sol.objective.unwrap() - bf_obj).abs() < 1e-6,
+                "mismatch: mip {} vs brute {} on v={values:?} w={weights:?} c={cap}",
+                sol.objective.unwrap(),
+                bf_obj
+            );
+        }
+    }
+
+    #[test]
+    fn gap_is_zero_at_optimality() {
+        let m = knapsack(&[10.0, 13.0], &[5.0, 6.0], 10.0);
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.status, MipStatus::Optimal);
+        assert!(sol.gap().unwrap() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Compaction of time-scaled schedules (§3.2).
+//!
+//! Time-scaling schedules jobs at slot boundaries, wasting the seconds
+//! between a job's real end and the next slot start. The paper's fix: "each
+//! job is inserted in the schedule according to the starting order of the
+//! schedule computed by CPLEX. Each job is placed as soon as possible and
+//! unused time slots, due to time-scaling, do no longer occur."
+//!
+//! [`compact`] does exactly that: profile-based earliest-fit insertion in a
+//! given starting order against the real-second machine history — the same
+//! list scheduler the policies use, which guarantees the result is a valid
+//! schedule and that no job starts later than its slot-grid start.
+
+use dynp_sched::{plan_ordered, Schedule, SchedulingProblem};
+use dynp_trace::JobId;
+
+/// Re-plans the snapshot's jobs in `order` (the ILP's starting order) at
+/// second resolution. Jobs absent from `order` are appended in snapshot
+/// order — defensive, but normal callers pass a full permutation.
+///
+/// # Panics
+/// Panics if `order` references a job not in the snapshot.
+pub fn compact(problem: &SchedulingProblem, order: &[JobId]) -> Schedule {
+    let mut jobs = Vec::with_capacity(problem.jobs.len());
+    for id in order {
+        let job = problem
+            .jobs
+            .iter()
+            .find(|j| j.id == *id)
+            .unwrap_or_else(|| panic!("job {id} not in snapshot"));
+        jobs.push(*job);
+    }
+    for job in &problem.jobs {
+        if !order.contains(&job.id) {
+            jobs.push(*job);
+        }
+    }
+    plan_ordered(problem, &jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::TimeScaling;
+    use crate::timeindex::TimeIndexedModel;
+    use dynp_platform::MachineHistory;
+    use dynp_sched::Metric;
+    use dynp_trace::Job;
+
+    fn snapshot() -> SchedulingProblem {
+        // History frees resources at t=90, off the 60s grid.
+        let history = MachineHistory::build(4, 0, &[(4, 90)]);
+        SchedulingProblem::new(
+            0,
+            history,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 130)],
+        )
+    }
+
+    #[test]
+    fn compaction_preserves_validity() {
+        let p = snapshot();
+        let s = compact(&p, &[JobId(0), JobId(1)]);
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn compaction_starts_jobs_off_grid() {
+        let p = snapshot();
+        let s = compact(&p, &[JobId(0), JobId(1)]);
+        // Both fit side by side the moment the machine frees at 90 — not
+        // at the next slot boundary 120.
+        assert_eq!(s.start_of(JobId(0)), Some(90));
+        assert_eq!(s.start_of(JobId(1)), Some(90));
+    }
+
+    #[test]
+    fn compaction_never_delays_vs_slot_schedule() {
+        let p = snapshot();
+        let ti = TimeIndexedModel::build(&p, TimeScaling::fixed(60), p.naive_horizon());
+        let sol = crate::branch::solve_mip(&ti.model, crate::branch::BranchLimits::default());
+        let x = sol.x.unwrap();
+        let slots = ti.slot_schedule(&x, &p);
+        let compacted = compact(&p, &ti.start_order(&x));
+        for e in slots.entries() {
+            let c = compacted.start_of(e.id).unwrap();
+            assert!(
+                c <= e.start,
+                "job {} compacted to {} after slot start {}",
+                e.id,
+                c,
+                e.start
+            );
+        }
+        // And therefore the metric can only improve.
+        let m = Metric::ArtwW;
+        assert!(m.eval(&p, &compacted) <= m.eval(&p, &slots) + 1e-9);
+    }
+
+    #[test]
+    fn order_determines_priority() {
+        // Machine fits one at a time; the order decides who goes first.
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            2,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
+        );
+        let a = compact(&p, &[JobId(0), JobId(1)]);
+        assert_eq!(a.start_of(JobId(0)), Some(0));
+        assert_eq!(a.start_of(JobId(1)), Some(100));
+        let b = compact(&p, &[JobId(1), JobId(0)]);
+        assert_eq!(b.start_of(JobId(1)), Some(0));
+        assert_eq!(b.start_of(JobId(0)), Some(100));
+    }
+
+    #[test]
+    fn partial_order_appends_missing_jobs() {
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            2,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
+        );
+        let s = compact(&p, &[JobId(1)]);
+        s.validate(&p).unwrap();
+        assert_eq!(s.start_of(JobId(1)), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in snapshot")]
+    fn unknown_job_panics() {
+        let p = SchedulingProblem::on_empty_machine(0, 2, vec![Job::exact(0, 0, 1, 10)]);
+        compact(&p, &[JobId(99)]);
+    }
+}

@@ -1,0 +1,1068 @@
+//! A bounded-variable, two-phase revised primal simplex.
+//!
+//! This is the LP engine under the branch & bound of [`crate::branch`]. It
+//! is written for the structure of time-indexed scheduling relaxations —
+//! many binary-bounded columns, few rows — but is a general solver:
+//!
+//! * variables with finite lower/upper bounds (slacks unbounded above),
+//! * all three constraint senses (slack/surplus added internally),
+//! * phase 1 over a full artificial basis (artificials are fixed to zero
+//!   afterwards, which safely neutralizes redundant rows),
+//! * explicit dense basis inverse with periodic refactorization,
+//! * Dantzig pricing with a permanent switch to Bland's rule after a
+//!   stall, guaranteeing termination.
+//!
+//! Determinism: no randomness, no wall clock; the iteration limit is the
+//! only resource bound, so results are reproducible bit-for-bit.
+
+// Dense linear-algebra kernels below index row-major buffers directly;
+// iterator adaptors obscure the math there.
+#![allow(clippy::needless_range_loop)]
+
+use crate::model::{Milp, Sense};
+
+/// Feasibility / optimality tolerance.
+const TOL: f64 = 1e-7;
+/// Smallest pivot magnitude accepted.
+const PIVOT_TOL: f64 = 1e-9;
+/// Refactorize the basis inverse every this many pivots.
+const REFACTOR_EVERY: usize = 128;
+/// Switch from Dantzig to Bland pricing after this many iterations without
+/// improvement, to break degenerate cycles.
+const STALL_LIMIT: usize = 512;
+/// Column block size for partial pricing.
+const PARTIAL_BLOCK: usize = 512;
+
+/// A solved LP relaxation.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Values of the *structural* variables (slacks stripped).
+    pub x: Vec<f64>,
+    /// Phase-2 reduced costs of the structural variables (0 for basic
+    /// ones). At optimality these certify the bound and enable
+    /// reduced-cost fixing in branch & bound: forcing a nonbasic variable
+    /// off its bound costs at least its reduced cost.
+    pub reduced_costs: Vec<f64>,
+    /// Simplex iterations used (both phases).
+    pub iterations: usize,
+}
+
+/// Outcome of an LP solve.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Proven optimal.
+    Optimal(LpSolution),
+    /// No feasible point exists (within tolerance).
+    Infeasible,
+    /// The objective is unbounded below.
+    Unbounded,
+    /// Gave up after the iteration limit; no usable bound.
+    IterationLimit,
+}
+
+impl LpOutcome {
+    /// The solution if optimal.
+    pub fn optimal(&self) -> Option<&LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A primal-feasible starting basis ("crash basis") that skips phase 1.
+///
+/// `basis[i]` is the variable basic in row `i`. Variable indexing follows
+/// the solver's internal layout: structural variables are `0..n`, and the
+/// slack of the `k`-th **inequality** row (counting only `≤`/`≥` rows, in
+/// row order) has index `n + k`. `at_upper` lists nonbasic variables
+/// resting at their *upper* bound; all other nonbasic variables rest at
+/// their lower bound.
+///
+/// The solver verifies the basis (nonsingular, primal feasible within
+/// tolerance) and silently falls back to the artificial phase-1 start if
+/// the verification fails, so a wrong crash can cost time but never
+/// correctness.
+#[derive(Clone, Debug)]
+pub struct SimplexStart {
+    /// Basic variable per row.
+    pub basis: Vec<usize>,
+    /// Nonbasic variables parked at their upper bound.
+    pub at_upper: Vec<usize>,
+    /// Declares that the basis matrix is `B = I + L` with unit diagonal
+    /// and `L` strictly lower triangular satisfying `L² = 0` (e.g. the
+    /// assignment/capacity crash of time-indexed models). The solver
+    /// verifies the claim structurally and then builds `B⁻¹ = I − L` in
+    /// O(nnz) instead of a dense O(m³) inversion.
+    pub unit_lower_triangular: bool,
+}
+
+/// Solves the LP relaxation of `model` with overridden variable bounds
+/// (`node_lower` / `node_upper`, as branch & bound fixes variables).
+/// Integrality flags are ignored.
+pub fn solve_lp_with_bounds(
+    model: &Milp,
+    node_lower: &[f64],
+    node_upper: &[f64],
+    max_iterations: usize,
+) -> LpOutcome {
+    solve_lp_with_start(model, node_lower, node_upper, None, max_iterations)
+}
+
+/// Like [`solve_lp_with_bounds`], optionally crash-starting from a caller
+/// supplied basis (see [`SimplexStart`]).
+pub fn solve_lp_with_start(
+    model: &Milp,
+    node_lower: &[f64],
+    node_upper: &[f64],
+    start: Option<&SimplexStart>,
+    max_iterations: usize,
+) -> LpOutcome {
+    let mut simplex = Simplex::new(model, node_lower, node_upper);
+    let crashed = start.is_some_and(|s| simplex.try_crash(s));
+    simplex.solve(max_iterations, crashed)
+}
+
+/// Solves the plain LP relaxation of `model`.
+pub fn solve_lp(model: &Milp, max_iterations: usize) -> LpOutcome {
+    solve_lp_with_bounds(model, &model.lower, &model.upper, max_iterations)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VarState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+struct Simplex<'a> {
+    model: &'a Milp,
+    m: usize,
+    n_struct: usize,
+    n_slack: usize,
+    n_total: usize,
+    /// Row and sign of each slack variable.
+    slack_row: Vec<usize>,
+    slack_sign: Vec<f64>,
+    /// Sign of the artificial column in each row.
+    art_sign: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    basis: Vec<usize>,
+    state: Vec<VarState>,
+    /// Dense m x m basis inverse, row-major.
+    binv: Vec<f64>,
+    /// Current values of all variables.
+    x: Vec<f64>,
+    pivots_since_refactor: usize,
+    iterations: usize,
+    /// Rotating cursor for partial pricing.
+    price_start: usize,
+}
+
+impl<'a> Simplex<'a> {
+    fn new(model: &'a Milp, node_lower: &[f64], node_upper: &[f64]) -> Simplex<'a> {
+        let m = model.num_constraints();
+        let n_struct = model.num_vars();
+        assert_eq!(node_lower.len(), n_struct);
+        assert_eq!(node_upper.len(), n_struct);
+        let mut slack_row = Vec::new();
+        let mut slack_sign = Vec::new();
+        for (i, sense) in model.senses.iter().enumerate() {
+            match sense {
+                Sense::Le => {
+                    slack_row.push(i);
+                    slack_sign.push(1.0);
+                }
+                Sense::Ge => {
+                    slack_row.push(i);
+                    slack_sign.push(-1.0);
+                }
+                Sense::Eq => {}
+            }
+        }
+        let n_slack = slack_row.len();
+        let n_total = n_struct + n_slack + m;
+        let mut lower = Vec::with_capacity(n_total);
+        let mut upper = Vec::with_capacity(n_total);
+        lower.extend_from_slice(node_lower);
+        upper.extend_from_slice(node_upper);
+        lower.extend(std::iter::repeat_n(0.0, n_slack));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, n_slack));
+        lower.extend(std::iter::repeat_n(0.0, m));
+        upper.extend(std::iter::repeat_n(f64::INFINITY, m));
+
+        let mut sx = Simplex {
+            model,
+            m,
+            n_struct,
+            n_slack,
+            n_total,
+            slack_row,
+            slack_sign,
+            art_sign: vec![1.0; m],
+            lower,
+            upper,
+            basis: Vec::new(),
+            state: vec![VarState::AtLower; n_total],
+            binv: vec![0.0; m * m],
+            x: vec![0.0; n_total],
+            pivots_since_refactor: 0,
+            iterations: 0,
+            price_start: 0,
+        };
+        sx.initialize();
+        sx
+    }
+
+    /// Iterates the non-zero entries of column `j` (structural, slack or
+    /// artificial) as `(row, value)`.
+    fn for_column(&self, j: usize, mut f: impl FnMut(usize, f64)) {
+        if j < self.n_struct {
+            for (r, v) in self.model.matrix.column(j) {
+                f(r, v);
+            }
+        } else if j < self.n_struct + self.n_slack {
+            let k = j - self.n_struct;
+            f(self.slack_row[k], self.slack_sign[k]);
+        } else {
+            let r = j - self.n_struct - self.n_slack;
+            f(r, self.art_sign[r]);
+        }
+    }
+
+    /// Places nonbasic variables on a bound and builds the all-artificial
+    /// starting basis with signs chosen so artificial values are >= 0.
+    fn initialize(&mut self) {
+        // Nonbasic structural + slack variables at their finite bound.
+        for j in 0..self.n_struct + self.n_slack {
+            if self.lower[j].is_finite() {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = self.lower[j];
+            } else if self.upper[j].is_finite() {
+                self.state[j] = VarState::AtUpper;
+                self.x[j] = self.upper[j];
+            } else {
+                // Free variable: park at zero (treated as "at lower" with
+                // an infinite bound; it can enter but never flip).
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+        // Residual r = b - A x_N decides artificial signs.
+        let mut residual = self.model.rhs.clone();
+        for j in 0..self.n_struct + self.n_slack {
+            let xj = self.x[j];
+            if xj != 0.0 {
+                self.for_column(j, |r, v| residual[r] -= v * xj);
+            }
+        }
+        self.basis = Vec::with_capacity(self.m);
+        for i in 0..self.m {
+            self.art_sign[i] = if residual[i] >= 0.0 { 1.0 } else { -1.0 };
+            let art = self.n_struct + self.n_slack + i;
+            self.basis.push(art);
+            self.state[art] = VarState::Basic(i);
+            self.x[art] = residual[i].abs();
+        }
+        // B = diag(art_sign) so B^-1 = diag(art_sign).
+        self.binv.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..self.m {
+            self.binv[i * self.m + i] = self.art_sign[i];
+        }
+        self.pivots_since_refactor = 0;
+    }
+
+    /// Cost vector of the given phase.
+    fn cost(&self, phase1: bool, j: usize) -> f64 {
+        if phase1 {
+            if j >= self.n_struct + self.n_slack {
+                1.0
+            } else {
+                0.0
+            }
+        } else if j < self.n_struct {
+            self.model.objective[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Reduced-cost test of one nonbasic column: returns `(|d|, direction)`
+    /// when entering `j` improves the phase objective.
+    fn price_candidate(&self, phase1: bool, j: usize, y: &[f64]) -> Option<(f64, f64)> {
+        let dir = match self.state[j] {
+            VarState::Basic(_) => return None,
+            VarState::AtLower => 1.0,
+            VarState::AtUpper => -1.0,
+        };
+        if self.lower[j] == self.upper[j] {
+            return None; // fixed (e.g. neutralized artificials)
+        }
+        let mut d = self.cost(phase1, j);
+        self.for_column(j, |r, v| d -= y[r] * v);
+        let improving = if dir > 0.0 { d < -TOL } else { d > TOL };
+        improving.then_some((d.abs(), dir))
+    }
+
+    /// y = c_B^T B^-1.
+    fn btran(&self, phase1: bool) -> Vec<f64> {
+        let mut y = vec![0.0; self.m];
+        for i in 0..self.m {
+            let cb = self.cost(phase1, self.basis[i]);
+            if cb != 0.0 {
+                let row = &self.binv[i * self.m..(i + 1) * self.m];
+                for k in 0..self.m {
+                    y[k] += cb * row[k];
+                }
+            }
+        }
+        y
+    }
+
+    /// w = B^-1 A_j.
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        self.for_column(j, |r, v| {
+            for i in 0..self.m {
+                w[i] += self.binv[i * self.m + r] * v;
+            }
+        });
+        w
+    }
+
+    /// Rebuilds B^-1 from the basis columns by Gauss-Jordan elimination
+    /// and recomputes the basic variable values, curing drift.
+    ///
+    /// # Panics
+    /// Panics on a singular basis — impossible when the basis evolved via
+    /// legal pivots. Crash bases use [`Self::try_refactorize`] instead.
+    fn refactorize(&mut self) {
+        assert!(
+            self.try_refactorize(),
+            "singular basis during refactorization"
+        );
+    }
+
+    /// Non-panicking refactorization; returns `false` on a singular basis
+    /// (leaving the inverse in an undefined state — reinitialize after).
+    fn try_refactorize(&mut self) -> bool {
+        let m = self.m;
+        // Dense B, column i = column of basis[i].
+        let mut b = vec![0.0; m * m];
+        for (i, &var) in self.basis.iter().enumerate() {
+            self.for_column(var, |r, v| b[r * m + i] = v);
+        }
+        // Gauss-Jordan with partial pivoting on [B | I].
+        let mut inv = vec![0.0; m * m];
+        for i in 0..m {
+            inv[i * m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Pivot search.
+            let mut best = col;
+            let mut best_abs = b[col * m + col].abs();
+            for row in col + 1..m {
+                let a = b[row * m + col].abs();
+                if a > best_abs {
+                    best = row;
+                    best_abs = a;
+                }
+            }
+            if best_abs <= PIVOT_TOL {
+                return false;
+            }
+            if best != col {
+                for k in 0..m {
+                    b.swap(col * m + k, best * m + k);
+                    inv.swap(col * m + k, best * m + k);
+                }
+            }
+            let piv = b[col * m + col];
+            for k in 0..m {
+                b[col * m + k] /= piv;
+                inv[col * m + k] /= piv;
+            }
+            for row in 0..m {
+                if row != col {
+                    let factor = b[row * m + col];
+                    if factor != 0.0 {
+                        for k in 0..m {
+                            b[row * m + k] -= factor * b[col * m + k];
+                            inv[row * m + k] -= factor * inv[col * m + k];
+                        }
+                    }
+                }
+            }
+        }
+        self.binv = inv;
+        self.recompute_basics();
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Builds `B⁻¹ = I − L` for a verified unit-lower-triangular basis
+    /// with `L² = 0` (see [`SimplexStart::unit_lower_triangular`]), then
+    /// recomputes the basic values. O(m² + nnz) instead of O(m³).
+    fn try_triangular_inverse(&mut self) -> bool {
+        let m = self.m;
+        // Verify structure while collecting L's entries: column c (the
+        // basis var of row c) must have a unit entry on the diagonal and
+        // all other entries strictly below it; sub-diagonal entries must
+        // only land on rows whose own columns are "light" (no
+        // sub-diagonal entries), which is exactly L² = 0.
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+        let mut heavy = vec![false; m]; // column has sub-diagonal entries
+        for (c, &var) in self.basis.iter().enumerate() {
+            let mut diag_ok = false;
+            let mut bad = false;
+            self.for_column(var, |r, v| {
+                if r == c {
+                    if (v - 1.0).abs() < 1e-12 {
+                        diag_ok = true;
+                    } else {
+                        bad = true;
+                    }
+                } else if r > c {
+                    entries.push((r, c, v));
+                    heavy[c] = true;
+                } else {
+                    bad = true; // entry above the diagonal
+                }
+            });
+            if bad || !diag_ok {
+                return false;
+            }
+        }
+        if entries.iter().any(|&(r, _, _)| heavy[r]) {
+            return false; // L² != 0
+        }
+        self.binv.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        for &(r, c, v) in &entries {
+            self.binv[r * m + c] = -v;
+        }
+        self.recompute_basics();
+        self.pivots_since_refactor = 0;
+        true
+    }
+
+    /// Attempts to install a caller-supplied crash basis; returns whether
+    /// the basis is usable (nonsingular and primal feasible), in which case
+    /// phase 1 can be skipped. On failure the solver is restored to the
+    /// artificial start.
+    fn try_crash(&mut self, start: &SimplexStart) -> bool {
+        if start.basis.len() != self.m {
+            return false;
+        }
+        let limit = self.n_struct + self.n_slack;
+        if start.basis.iter().any(|&v| v >= limit) {
+            return false;
+        }
+        // Install states: nonbasic at lower unless listed at_upper.
+        let old_basis = self.basis.clone();
+        let old_state = self.state.clone();
+        let old_x = self.x.clone();
+        for j in 0..limit {
+            if self.lower[j].is_finite() {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = self.lower[j];
+            } else if self.upper[j].is_finite() {
+                self.state[j] = VarState::AtUpper;
+                self.x[j] = self.upper[j];
+            } else {
+                self.state[j] = VarState::AtLower;
+                self.x[j] = 0.0;
+            }
+        }
+        for &j in &start.at_upper {
+            if j < limit && self.upper[j].is_finite() {
+                self.state[j] = VarState::AtUpper;
+                self.x[j] = self.upper[j];
+            }
+        }
+        // Artificials nonbasic, pinned at zero.
+        for i in 0..self.m {
+            let art = limit + i;
+            self.state[art] = VarState::AtLower;
+            self.x[art] = 0.0;
+            self.lower[art] = 0.0;
+            self.upper[art] = 0.0;
+        }
+        let mut seen = vec![false; limit];
+        let mut duplicate = false;
+        for (row, &var) in start.basis.iter().enumerate() {
+            if seen[var] {
+                duplicate = true;
+                break;
+            }
+            seen[var] = true;
+            self.basis[row] = var;
+            self.state[var] = VarState::Basic(row);
+        }
+        let inverted = !duplicate
+            && if start.unit_lower_triangular {
+                self.try_triangular_inverse()
+            } else {
+                self.try_refactorize()
+            };
+        let ok = inverted && self.is_primal_feasible();
+        if !ok {
+            // Restore the artificial start untouched.
+            self.basis = old_basis;
+            self.state = old_state;
+            self.x = old_x;
+            for i in 0..self.m {
+                let art = limit + i;
+                self.lower[art] = 0.0;
+                self.upper[art] = f64::INFINITY;
+            }
+            self.binv.iter_mut().for_each(|v| *v = 0.0);
+            for i in 0..self.m {
+                self.binv[i * self.m + i] = self.art_sign[i];
+            }
+            self.pivots_since_refactor = 0;
+        }
+        ok
+    }
+
+    /// Checks the current basic values against their bounds.
+    fn is_primal_feasible(&self) -> bool {
+        self.basis.iter().all(|&var| {
+            self.x[var] >= self.lower[var] - TOL && self.x[var] <= self.upper[var] + TOL
+        })
+    }
+
+    /// x_B = B^-1 (b - N x_N).
+    fn recompute_basics(&mut self) {
+        let mut rhs = self.model.rhs.clone();
+        for j in 0..self.n_total {
+            if let VarState::Basic(_) = self.state[j] {
+                continue;
+            }
+            let xj = self.x[j];
+            if xj != 0.0 {
+                self.for_column(j, |r, v| rhs[r] -= v * xj);
+            }
+        }
+        for i in 0..self.m {
+            let mut v = 0.0;
+            for k in 0..self.m {
+                v += self.binv[i * self.m + k] * rhs[k];
+            }
+            self.x[self.basis[i]] = v;
+        }
+    }
+
+    /// One phase of the simplex; returns `Ok(())` at optimality.
+    fn run_phase(&mut self, phase1: bool, max_iterations: usize) -> Result<(), LpOutcome> {
+        let mut stall = 0usize;
+        let mut last_obj = f64::INFINITY;
+        loop {
+            if self.iterations >= max_iterations {
+                return Err(LpOutcome::IterationLimit);
+            }
+            self.iterations += 1;
+            if self.pivots_since_refactor >= REFACTOR_EVERY {
+                self.refactorize();
+            }
+            let bland = stall >= STALL_LIMIT;
+            let y = self.btran(phase1);
+            // Pricing: partial (rotating blocks) under Dantzig, full scan
+            // from index 0 under Bland (anti-cycling needs a fixed order).
+            let mut enter: Option<(usize, f64, f64)> = None; // (var, |d|, dir)
+            if bland {
+                for j in 0..self.n_total {
+                    if let Some((d_abs, dir)) = self.price_candidate(phase1, j, &y) {
+                        enter = Some((j, d_abs, dir));
+                        break; // Bland: first improving index wins
+                    }
+                }
+            } else {
+                // Rotate through blocks; stop at the end of the first
+                // block that contained an improving column.
+                let n = self.n_total;
+                let mut scanned = 0usize;
+                while scanned < n {
+                    let block_end = (scanned + PARTIAL_BLOCK).min(n);
+                    for off in scanned..block_end {
+                        let j = (self.price_start + off) % n;
+                        if let Some((d_abs, dir)) = self.price_candidate(phase1, j, &y) {
+                            if enter.is_none_or(|(_, best, _)| d_abs > best) {
+                                enter = Some((j, d_abs, dir));
+                            }
+                        }
+                    }
+                    scanned = block_end;
+                    if enter.is_some() {
+                        self.price_start = (self.price_start + scanned) % n;
+                        break;
+                    }
+                }
+            }
+            let Some((j_enter, _, dir)) = enter else {
+                return Ok(()); // optimal for this phase
+            };
+            // Ratio test.
+            let w = self.ftran(j_enter);
+            let range = self.upper[j_enter] - self.lower[j_enter]; // may be inf
+            let mut t_max = range;
+            let mut blocking: Option<usize> = None; // basis row
+            for i in 0..self.m {
+                let delta = dir * w[i]; // x_B[i] decreases by delta * t
+                let var = self.basis[i];
+                let xb = self.x[var];
+                if delta > PIVOT_TOL {
+                    let slack = xb - self.lower[var];
+                    let t = slack.max(0.0) / delta;
+                    if t < t_max {
+                        t_max = t;
+                        blocking = Some(i);
+                    }
+                } else if delta < -PIVOT_TOL {
+                    let headroom = self.upper[var] - xb;
+                    if headroom.is_finite() {
+                        let t = headroom.max(0.0) / (-delta);
+                        if t < t_max {
+                            t_max = t;
+                            blocking = Some(i);
+                        }
+                    }
+                }
+            }
+            if t_max.is_infinite() {
+                return Err(if phase1 {
+                    // Phase 1 objective is bounded below by 0; cannot be
+                    // unbounded. Treat as numerical trouble.
+                    LpOutcome::IterationLimit
+                } else {
+                    LpOutcome::Unbounded
+                });
+            }
+            let t = t_max.max(0.0);
+            // Apply the step.
+            self.x[j_enter] += dir * t;
+            for i in 0..self.m {
+                let var = self.basis[i];
+                self.x[var] -= dir * t * w[i];
+            }
+            match blocking {
+                None => {
+                    // Bound flip: entering variable hit its opposite bound.
+                    self.state[j_enter] = match self.state[j_enter] {
+                        VarState::AtLower => {
+                            self.x[j_enter] = self.upper[j_enter];
+                            VarState::AtUpper
+                        }
+                        VarState::AtUpper => {
+                            self.x[j_enter] = self.lower[j_enter];
+                            VarState::AtLower
+                        }
+                        VarState::Basic(_) => unreachable!("entering var is nonbasic"),
+                    };
+                }
+                Some(r) => {
+                    let leaving = self.basis[r];
+                    let delta = dir * w[r];
+                    // Snap the leaving variable exactly onto the bound it hit.
+                    if delta > 0.0 {
+                        self.x[leaving] = self.lower[leaving];
+                        self.state[leaving] = VarState::AtLower;
+                    } else {
+                        self.x[leaving] = self.upper[leaving];
+                        self.state[leaving] = VarState::AtUpper;
+                    }
+                    self.basis[r] = j_enter;
+                    self.state[j_enter] = VarState::Basic(r);
+                    self.pivot_update(r, &w);
+                    self.pivots_since_refactor += 1;
+                }
+            }
+            // Stall detection on the phase objective.
+            let obj = self.phase_objective(phase1);
+            if obj < last_obj - TOL {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+
+    fn phase_objective(&self, phase1: bool) -> f64 {
+        (0..self.n_total)
+            .map(|j| self.cost(phase1, j) * self.x[j])
+            .sum()
+    }
+
+    /// Rank-one update of B^-1 after pivoting column `w` into row `r`.
+    fn pivot_update(&mut self, r: usize, w: &[f64]) {
+        let m = self.m;
+        let piv = w[r];
+        debug_assert!(piv.abs() > PIVOT_TOL, "tiny pivot {piv}");
+        // Row r /= piv.
+        for k in 0..m {
+            self.binv[r * m + k] /= piv;
+        }
+        for i in 0..m {
+            if i != r {
+                let factor = w[i];
+                if factor != 0.0 {
+                    for k in 0..m {
+                        self.binv[i * m + k] -= factor * self.binv[r * m + k];
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve(mut self, max_iterations: usize, crashed: bool) -> LpOutcome {
+        // Phase 1: drive artificials to zero (skipped entirely when a
+        // verified primal-feasible crash basis is installed).
+        if self.m > 0 && !crashed {
+            match self.run_phase(true, max_iterations) {
+                Ok(()) => {}
+                Err(out) => return out,
+            }
+            self.recompute_basics();
+            let infeas = self.phase_objective(true);
+            if infeas > 1e-6 {
+                return LpOutcome::Infeasible;
+            }
+            // Fix artificials at zero so phase 2 can never reuse them.
+            for i in 0..self.m {
+                let art = self.n_struct + self.n_slack + i;
+                self.lower[art] = 0.0;
+                self.upper[art] = 0.0;
+                if !matches!(self.state[art], VarState::Basic(_)) {
+                    self.x[art] = 0.0;
+                }
+            }
+        }
+        // Phase 2: the real objective.
+        match self.run_phase(false, max_iterations) {
+            Ok(()) => {}
+            Err(out) => return out,
+        }
+        self.recompute_basics();
+        let x = self.x[..self.n_struct].to_vec();
+        // Reduced costs d_j = c_j - y A_j at the optimal basis.
+        let y = self.btran(false);
+        let mut reduced_costs = vec![0.0; self.n_struct];
+        for (j, rc) in reduced_costs.iter_mut().enumerate() {
+            if matches!(self.state[j], VarState::Basic(_)) {
+                continue;
+            }
+            let mut d = self.model.objective[j];
+            self.for_column(j, |r, v| d -= y[r] * v);
+            *rc = d;
+        }
+        LpOutcome::Optimal(LpSolution {
+            objective: self.model.objective_value(&x),
+            x,
+            reduced_costs,
+            iterations: self.iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CscMatrix;
+
+    fn lp(
+        c: Vec<f64>,
+        rows: &[Vec<f64>],
+        senses: Vec<Sense>,
+        rhs: Vec<f64>,
+        lower: Vec<f64>,
+        upper: Vec<f64>,
+    ) -> Milp {
+        let n = c.len();
+        Milp::new(
+            c,
+            CscMatrix::from_dense(rows),
+            senses,
+            rhs,
+            lower,
+            upper,
+            vec![false; n],
+        )
+    }
+
+    fn solve(model: &Milp) -> LpOutcome {
+        solve_lp(model, 100_000)
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (min of the
+        // negation): optimum x=2, y=6, obj = -36.
+        let m = lp(
+            vec![-3.0, -5.0],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![Sense::Le, Sense::Le, Sense::Le],
+            vec![4.0, 12.0, 18.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let sol = solve(&m);
+        let s = sol.optimal().expect("optimal");
+        assert!((s.objective + 36.0).abs() < 1e-6, "obj {}", s.objective);
+        assert!((s.x[0] - 2.0).abs() < 1e-6);
+        assert!((s.x[1] - 6.0).abs() < 1e-6);
+        m.check_feasible(&s.x, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 2, x - y = 0 -> x = y = 1.
+        let m = lp(
+            vec![1.0, 1.0],
+            &[vec![1.0, 1.0], vec![1.0, -1.0]],
+            vec![Sense::Eq, Sense::Eq],
+            vec![2.0, 0.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective - 2.0).abs() < 1e-6);
+        assert!((s.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_constraints_and_upper_bounds() {
+        // min x s.t. x >= 3, x <= 10.
+        let m = lp(
+            vec![1.0],
+            &[vec![1.0]],
+            vec![Sense::Ge],
+            vec![3.0],
+            vec![0.0],
+            vec![10.0],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bounded_variables_sit_at_upper() {
+        // max x + y (min -x - y) with x,y in [0,1] and x + y <= 3: both hit
+        // their upper bound 1, not the constraint.
+        let m = lp(
+            vec![-1.0, -1.0],
+            &[vec![1.0, 1.0]],
+            vec![Sense::Le],
+            vec![3.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-7);
+        assert!((s.x[0] - 1.0).abs() < 1e-7);
+        assert!((s.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        // x <= 1 and x >= 2.
+        let m = lp(
+            vec![0.0],
+            &[vec![1.0], vec![1.0]],
+            vec![Sense::Le, Sense::Ge],
+            vec![1.0, 2.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+        );
+        assert!(matches!(solve(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        // min -x with x >= 0 unbounded above, one non-binding row.
+        let m = lp(
+            vec![-1.0],
+            &[vec![-1.0]],
+            vec![Sense::Le],
+            vec![0.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+        );
+        assert!(matches!(solve(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_handled() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let m = lp(
+            vec![1.0],
+            &[vec![-1.0]],
+            vec![Sense::Le],
+            vec![-3.0],
+            vec![0.0],
+            vec![f64::INFINITY],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        // min -x - y, x fixed to 0 via node bounds, y in [0,1].
+        let m = lp(
+            vec![-1.0, -1.0],
+            &[vec![1.0, 1.0]],
+            vec![Sense::Le],
+            vec![2.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let out = solve_lp_with_bounds(&m, &[0.0, 0.0], &[0.0, 1.0], 10_000);
+        let s = out.optimal().unwrap();
+        assert!(s.x[0].abs() < 1e-9);
+        assert!((s.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several redundant constraints through the
+        // same vertex.
+        let m = lp(
+            vec![-1.0, -1.0],
+            &[
+                vec![1.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+            ],
+            vec![Sense::Le, Sense::Le, Sense::Le, Sense::Le],
+            vec![1.0, 1.0, 1.0, 2.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_survivable() {
+        // x + y = 1 twice: phase 1 leaves an artificial basic at zero.
+        let m = lp(
+            vec![1.0, 2.0],
+            &[vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![Sense::Eq, Sense::Eq],
+            vec![1.0, 1.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+        assert!((s.x[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignment_like_structure() {
+        // Two jobs, two slots, slot capacity 1 each:
+        // min 1*x00 + 2*x01 + 1*x10 + 3*x11
+        // x00 + x01 = 1; x10 + x11 = 1; x00 + x10 <= 1; x01 + x11 <= 1.
+        // Optimum: one job in each slot; cheapest is x00=1, x11=1 (1+3=4)
+        // or x01=1, x10=1 (2+1=3) -> 3.
+        let m = lp(
+            vec![1.0, 2.0, 1.0, 3.0],
+            &[
+                vec![1.0, 1.0, 0.0, 0.0],
+                vec![0.0, 0.0, 1.0, 1.0],
+                vec![1.0, 0.0, 1.0, 0.0],
+                vec![0.0, 1.0, 0.0, 1.0],
+            ],
+            vec![Sense::Eq, Sense::Eq, Sense::Le, Sense::Le],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.0; 4],
+            vec![1.0; 4],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-6, "obj {}", s.objective);
+        m.check_feasible(&s.x, 1e-6).unwrap();
+    }
+
+    #[test]
+    fn reduced_costs_certify_optimality() {
+        // min -3x -5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+        let m = lp(
+            vec![-3.0, -5.0],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
+            vec![Sense::Le, Sense::Le, Sense::Le],
+            vec![4.0, 12.0, 18.0],
+            vec![0.0, 0.0],
+            vec![f64::INFINITY, f64::INFINITY],
+        );
+        let out = solve_lp(&m, 100_000);
+        let s = out.optimal().unwrap();
+        assert_eq!(s.reduced_costs.len(), 2);
+        // At optimality, nonbasic-at-lower variables have nonnegative
+        // reduced costs (minimization); basic ones report 0.
+        for (j, &d) in s.reduced_costs.iter().enumerate() {
+            if s.x[j] > 1e-9 {
+                assert!(d.abs() < 1e-6, "basic var {j} has rc {d}");
+            } else {
+                assert!(d >= -1e-6, "at-lower var {j} has negative rc {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_cost_lower_bound_property() {
+        // Forcing a nonbasic variable off its bound by delta raises the
+        // optimum by at least rc * delta.
+        let m = lp(
+            vec![2.0, 1.0],
+            &[vec![1.0, 1.0]],
+            vec![Sense::Ge],
+            vec![1.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        );
+        let base = solve_lp(&m, 10_000);
+        let base = base.optimal().unwrap();
+        // Optimal: y = 1 (cost 1), x = 0 nonbasic with rc = 2 - 1 = 1.
+        assert!((base.objective - 1.0).abs() < 1e-7);
+        let rc_x = base.reduced_costs[0];
+        assert!(rc_x > 0.5);
+        // Force x = 1: new optimum must be >= base + rc_x * 1.
+        let forced = solve_lp_with_bounds(&m, &[1.0, 0.0], &[1.0, 1.0], 10_000);
+        let forced = forced.optimal().unwrap();
+        assert!(forced.objective >= base.objective + rc_x - 1e-6);
+    }
+
+    #[test]
+    fn no_constraints_model() {
+        // min -x + y with x,y in [0,1] and no rows: x=1, y=0.
+        let mut b = crate::sparse::CscBuilder::new(0);
+        b.push_column(&[]);
+        b.push_column(&[]);
+        let m = Milp::new(
+            vec![-1.0, 1.0],
+            b.build(),
+            vec![],
+            vec![],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![false, false],
+        );
+        let s = solve(&m);
+        let s = s.optimal().unwrap();
+        assert!((s.objective + 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,213 @@
+//! The live cluster: tracks which jobs are running *now* and renders the
+//! machine history the planner and the integer program consume.
+//!
+//! During simulation the [`Machine`] is the single source of truth for
+//! resource occupancy. Jobs start (allocating `width` resources), run for
+//! their *actual* duration, and release on completion; the machine history
+//! is always derived from their *estimated* ends (§3.1), because that is all
+//! a real RMS knows.
+
+use crate::history::MachineHistory;
+use dynp_trace::{Job, JobId};
+
+/// A job currently occupying resources.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunningJob {
+    /// Job id.
+    pub id: JobId,
+    /// Resources occupied.
+    pub width: u32,
+    /// Absolute start time.
+    pub start: u64,
+    /// Estimated end = start + estimated duration (what the planner sees).
+    pub estimated_end: u64,
+    /// Actual end = start + effective duration (when the completion event
+    /// really fires).
+    pub actual_end: u64,
+}
+
+/// A cluster of identical resources with a running-job set.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    capacity: u32,
+    free: u32,
+    running: Vec<RunningJob>,
+}
+
+impl Machine {
+    /// A fully idle machine with `capacity` resources.
+    pub fn new(capacity: u32) -> Machine {
+        Machine {
+            capacity,
+            free: capacity,
+            running: Vec::new(),
+        }
+    }
+
+    /// Total resources.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Resources free right now.
+    pub fn free(&self) -> u32 {
+        self.free
+    }
+
+    /// Resources busy right now.
+    pub fn busy(&self) -> u32 {
+        self.capacity - self.free
+    }
+
+    /// Jobs currently running.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Whether a job of `width` can start immediately.
+    pub fn can_start(&self, width: u32) -> bool {
+        width <= self.free
+    }
+
+    /// Starts `job` at time `now`, returning its completion time.
+    ///
+    /// # Panics
+    /// Panics if the job does not fit — the scheduler must only dispatch
+    /// jobs it has planned onto free resources.
+    pub fn start(&mut self, job: &Job, now: u64) -> u64 {
+        assert!(
+            self.can_start(job.width),
+            "machine overcommit: starting {:?} (width {}) with {} free",
+            job.id,
+            job.width,
+            self.free
+        );
+        self.free -= job.width;
+        let actual_end = now + job.effective_duration();
+        self.running.push(RunningJob {
+            id: job.id,
+            width: job.width,
+            start: now,
+            estimated_end: now + job.estimated_duration,
+            actual_end,
+        });
+        actual_end
+    }
+
+    /// Completes the running job `id`, releasing its resources. Returns the
+    /// released record.
+    ///
+    /// # Panics
+    /// Panics if no such job is running.
+    pub fn complete(&mut self, id: JobId) -> RunningJob {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.id == id)
+            .unwrap_or_else(|| panic!("completing {id:?} which is not running"));
+        let record = self.running.swap_remove(idx);
+        self.free += record.width;
+        record
+    }
+
+    /// Renders the machine history at time `now` from the running set's
+    /// **estimated** ends, as §3.1 prescribes.
+    pub fn history(&self, now: u64) -> MachineHistory {
+        let running: Vec<(u32, u64)> = self
+            .running
+            .iter()
+            .map(|r| (r.width, r.estimated_end))
+            .collect();
+        MachineHistory::build(self.capacity, now, &running)
+    }
+
+    /// Utilization right now, in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.busy() as f64 / self.capacity as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_trace::Job;
+
+    #[test]
+    fn start_and_complete_roundtrip() {
+        let mut m = Machine::new(10);
+        let j = Job::exact(1, 0, 4, 100);
+        let end = m.start(&j, 50);
+        assert_eq!(end, 150);
+        assert_eq!(m.free(), 6);
+        assert_eq!(m.busy(), 4);
+        let rec = m.complete(JobId(1));
+        assert_eq!(rec.width, 4);
+        assert_eq!(m.free(), 10);
+        assert!(m.running().is_empty());
+    }
+
+    #[test]
+    fn actual_end_uses_effective_duration() {
+        let mut m = Machine::new(10);
+        // Estimate 100 but actually runs 60.
+        let j = Job::new(1, 0, 2, 100, 60);
+        let end = m.start(&j, 0);
+        assert_eq!(end, 60);
+        // The history still uses the estimate.
+        let h = m.history(10);
+        assert_eq!(h.free_at(10), 8);
+        assert_eq!(h.free_at(100), 10);
+    }
+
+    #[test]
+    fn overrunning_job_is_capped_at_estimate() {
+        let mut m = Machine::new(10);
+        let j = Job::new(1, 0, 2, 100, 150);
+        assert_eq!(m.start(&j, 0), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommit")]
+    fn start_panics_when_too_wide() {
+        let mut m = Machine::new(4);
+        m.start(&Job::exact(1, 0, 3, 10), 0);
+        m.start(&Job::exact(2, 0, 2, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn complete_unknown_job_panics() {
+        let mut m = Machine::new(4);
+        m.complete(JobId(7));
+    }
+
+    #[test]
+    fn can_start_checks_current_free() {
+        let mut m = Machine::new(4);
+        assert!(m.can_start(4));
+        m.start(&Job::exact(1, 0, 3, 10), 0);
+        assert!(m.can_start(1));
+        assert!(!m.can_start(2));
+    }
+
+    #[test]
+    fn history_of_idle_machine_is_trivial() {
+        let m = Machine::new(16);
+        let h = m.history(42);
+        assert_eq!(h.points().len(), 1);
+        assert_eq!(h.free_at(42), 16);
+    }
+
+    #[test]
+    fn utilization_tracks_busy_fraction() {
+        let mut m = Machine::new(10);
+        assert_eq!(m.utilization(), 0.0);
+        m.start(&Job::exact(1, 0, 5, 10), 0);
+        assert!((m.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(Machine::new(0).utilization(), 0.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! Step-function resource availability over time.
+//!
+//! A [`ResourceProfile`] answers "how many resources are free from time `t`
+//! on?" and supports carving reservations out of the future — the core
+//! operation of a planning-based scheduler. Constraint (4) of the paper's
+//! integer program ("the machine consists of `M_t` resources in total …
+//! reduced according to the machine history") is exactly a capacity lookup
+//! against this structure.
+//!
+//! Representation: a sorted list of `(time, free)` breakpoints; the value at
+//! a breakpoint holds until the next breakpoint, and the last value extends
+//! to infinity. Adjacent breakpoints with equal values are coalesced, so the
+//! list length is bounded by the number of distinct reservation edges.
+
+/// Time-varying count of free resources, as a right-open step function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResourceProfile {
+    /// Total resources of the machine; `free` can never exceed this.
+    capacity: u32,
+    /// Breakpoints `(time, free)`, strictly increasing in time, first entry
+    /// at time 0. Never empty.
+    steps: Vec<(u64, u32)>,
+}
+
+impl ResourceProfile {
+    /// A fully free machine of `capacity` resources.
+    pub fn new(capacity: u32) -> Self {
+        ResourceProfile {
+            capacity,
+            steps: vec![(0, capacity)],
+        }
+    }
+
+    /// Total machine capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The breakpoints of the step function (time, free-from-then-on).
+    pub fn steps(&self) -> &[(u64, u32)] {
+        &self.steps
+    }
+
+    /// Index of the segment containing time `t`.
+    fn segment_index(&self, t: u64) -> usize {
+        // partition_point returns the first index with step.0 > t; the
+        // segment containing t is the one before it.
+        self.steps.partition_point(|&(time, _)| time <= t) - 1
+    }
+
+    /// Free resources at time `t`.
+    pub fn free_at(&self, t: u64) -> u32 {
+        self.steps[self.segment_index(t)].1
+    }
+
+    /// Minimum free resources over `[start, end)`. An empty interval is
+    /// unconstrained, i.e. returns the capacity.
+    pub fn min_free(&self, start: u64, end: u64) -> u32 {
+        if start >= end {
+            return self.capacity;
+        }
+        let mut min = u32::MAX;
+        let first = self.segment_index(start);
+        for &(time, free) in &self.steps[first..] {
+            if time >= end {
+                break;
+            }
+            min = min.min(free);
+        }
+        min
+    }
+
+    /// Whether a job of `width` resources fits in `[start, start+duration)`.
+    pub fn fits(&self, start: u64, duration: u64, width: u32) -> bool {
+        width <= self.min_free(start, start.saturating_add(duration))
+    }
+
+    /// Earliest start `t >= earliest` such that `width` resources are free
+    /// throughout `[t, t+duration)`, or `None` if `width` exceeds the
+    /// machine capacity. Zero-duration jobs fit anywhere `width` is free at
+    /// a single instant.
+    pub fn earliest_fit(&self, earliest: u64, duration: u64, width: u32) -> Option<u64> {
+        if width > self.capacity {
+            return None;
+        }
+        if width == 0 {
+            return Some(earliest);
+        }
+        let mut t = earliest;
+        'outer: loop {
+            let end = t.saturating_add(duration.max(1));
+            let first = self.segment_index(t);
+            for (i, &(time, free)) in self.steps[first..].iter().enumerate() {
+                if time >= end {
+                    break;
+                }
+                if free < width {
+                    // Blocked: restart after the blocking segment ends.
+                    let seg = first + i;
+                    match self.steps.get(seg + 1) {
+                        Some(&(next_time, _)) => {
+                            t = next_time;
+                            continue 'outer;
+                        }
+                        // The last segment blocks and lasts forever; since
+                        // width <= capacity this only happens if the profile
+                        // never returns to enough capacity.
+                        None => return None,
+                    }
+                }
+            }
+            return Some(t);
+        }
+    }
+
+    /// Removes `width` resources over `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the interval is empty or the reservation would drive any
+    /// segment negative — callers must check with [`Self::fits`] first; a
+    /// violation is a scheduler bug, not a recoverable condition.
+    pub fn allocate(&mut self, start: u64, end: u64, width: u32) {
+        assert!(start < end, "allocate: empty interval [{start}, {end})");
+        if width == 0 {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        for step in &mut self.steps {
+            if step.0 >= start && step.0 < end {
+                assert!(
+                    step.1 >= width,
+                    "allocate: overcommit at t={} (free {}, need {})",
+                    step.0,
+                    step.1,
+                    width
+                );
+                step.1 -= width;
+            }
+        }
+        self.coalesce();
+    }
+
+    /// Adds `width` resources back over `[start, end)`, clamped at capacity.
+    /// Used when building profiles from release events rather than
+    /// reservations.
+    pub fn release(&mut self, start: u64, end: u64, width: u32) {
+        assert!(start < end, "release: empty interval [{start}, {end})");
+        if width == 0 {
+            return;
+        }
+        self.split_at(start);
+        self.split_at(end);
+        for step in &mut self.steps {
+            if step.0 >= start && step.0 < end {
+                step.1 = (step.1 + width).min(self.capacity);
+            }
+        }
+        self.coalesce();
+    }
+
+    /// Ensures a breakpoint exists at time `t`.
+    fn split_at(&mut self, t: u64) {
+        let idx = self.segment_index(t);
+        if self.steps[idx].0 != t {
+            let free = self.steps[idx].1;
+            self.steps.insert(idx + 1, (t, free));
+        }
+    }
+
+    /// Merges adjacent breakpoints with equal free counts.
+    fn coalesce(&mut self) {
+        self.steps.dedup_by(|next, prev| next.1 == prev.1);
+    }
+
+    /// First time `>= from` at which the whole machine is free again —
+    /// an upper bound on when any schedule tail can start fresh.
+    pub fn all_free_from(&self, from: u64) -> u64 {
+        for &(time, free) in self.steps.iter().rev() {
+            if free < self.capacity {
+                // The machine is fully free only after the last constrained
+                // segment; find the following breakpoint.
+                let idx = self.steps.iter().position(|&s| s.0 == time).unwrap();
+                return match self.steps.get(idx + 1) {
+                    Some(&(next, _)) => next.max(from),
+                    None => u64::MAX, // constrained forever
+                };
+            }
+        }
+        from
+    }
+
+    /// Checks internal invariants; used by debug assertions and tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.steps.is_empty() {
+            return Err("profile has no steps".into());
+        }
+        if self.steps[0].0 != 0 {
+            return Err(format!("first step at {} != 0", self.steps[0].0));
+        }
+        for w in self.steps.windows(2) {
+            if w[0].0 >= w[1].0 {
+                return Err(format!("non-increasing times {} -> {}", w[0].0, w[1].0));
+            }
+            if w[0].1 == w[1].1 {
+                return Err(format!("uncoalesced equal steps at {}", w[1].0));
+            }
+        }
+        if self.steps.iter().any(|&(_, f)| f > self.capacity) {
+            return Err("free exceeds capacity".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_profile_is_fully_free() {
+        let p = ResourceProfile::new(8);
+        assert_eq!(p.free_at(0), 8);
+        assert_eq!(p.free_at(u64::MAX - 1), 8);
+        assert_eq!(p.min_free(0, 1_000_000), 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn allocate_reduces_free_in_window_only() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(10, 20, 3);
+        assert_eq!(p.free_at(9), 8);
+        assert_eq!(p.free_at(10), 5);
+        assert_eq!(p.free_at(19), 5);
+        assert_eq!(p.free_at(20), 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn overlapping_allocations_stack() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 100, 2);
+        p.allocate(50, 150, 4);
+        assert_eq!(p.free_at(0), 6);
+        assert_eq!(p.free_at(50), 2);
+        assert_eq!(p.free_at(100), 4);
+        assert_eq!(p.free_at(150), 8);
+        assert_eq!(p.min_free(0, 200), 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "overcommit")]
+    fn allocate_panics_on_overcommit() {
+        let mut p = ResourceProfile::new(4);
+        p.allocate(0, 10, 3);
+        p.allocate(5, 15, 2);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 100, 5);
+        p.release(20, 60, 5);
+        assert_eq!(p.free_at(10), 3);
+        assert_eq!(p.free_at(30), 8);
+        assert_eq!(p.free_at(70), 3);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn release_clamps_at_capacity() {
+        let mut p = ResourceProfile::new(8);
+        p.release(0, 10, 100);
+        assert_eq!(p.free_at(5), 8);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn earliest_fit_on_empty_machine_is_immediate() {
+        let p = ResourceProfile::new(8);
+        assert_eq!(p.earliest_fit(42, 100, 8), Some(42));
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_release() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 100, 6);
+        // width 4 doesn't fit before t=100
+        assert_eq!(p.earliest_fit(0, 10, 4), Some(100));
+        // width 2 fits right away
+        assert_eq!(p.earliest_fit(0, 10, 2), Some(0));
+    }
+
+    #[test]
+    fn earliest_fit_finds_hole_between_reservations() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 50, 6); // free 2 in [0,50)
+        p.allocate(80, 200, 6); // free 2 in [80,200)
+                                // width 4, duration 30 fits only in the hole [50, 80).
+        assert_eq!(p.earliest_fit(0, 30, 4), Some(50));
+        // duration 40 does not fit in the hole; must wait until 200.
+        assert_eq!(p.earliest_fit(0, 40, 4), Some(200));
+    }
+
+    #[test]
+    fn earliest_fit_respects_earliest_bound() {
+        let p = ResourceProfile::new(8);
+        assert_eq!(p.earliest_fit(1000, 10, 1), Some(1000));
+    }
+
+    #[test]
+    fn earliest_fit_too_wide_is_none() {
+        let p = ResourceProfile::new(8);
+        assert_eq!(p.earliest_fit(0, 10, 9), None);
+    }
+
+    #[test]
+    fn earliest_fit_zero_duration_checks_instant() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 100, 8);
+        // duration 0 is treated as one second of occupancy.
+        assert_eq!(p.earliest_fit(0, 0, 1), Some(100));
+    }
+
+    #[test]
+    fn min_free_empty_interval_is_capacity() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 10, 8);
+        assert_eq!(p.min_free(5, 5), 8);
+    }
+
+    #[test]
+    fn adjacent_equal_segments_coalesce() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 10, 3);
+        p.allocate(10, 20, 3);
+        // [0,20) at 5 free should be a single segment.
+        assert_eq!(p.steps().len(), 2);
+        p.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_free_from_finds_tail() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(10, 90, 1);
+        assert_eq!(p.all_free_from(0), 90);
+        assert_eq!(p.all_free_from(200), 200);
+        let q = ResourceProfile::new(8);
+        assert_eq!(q.all_free_from(5), 5);
+    }
+
+    #[test]
+    fn capacity_zero_profile_never_fits() {
+        let p = ResourceProfile::new(0);
+        assert_eq!(p.earliest_fit(0, 10, 1), None);
+        assert_eq!(p.earliest_fit(0, 10, 0), Some(0));
+    }
+}

@@ -1,0 +1,328 @@
+//! Performance metrics over full schedules, weighted exactly as the paper
+//! defines them.
+//!
+//! The self-tuning step measures each policy's schedule "by means of a
+//! performance metrics (e.g. response time, slowdown, or utilization)" (§2).
+//! The paper's ILP objective is **ARTwW** — average response time weighted
+//! by width (Eq. 2) — and Table 1 is measured with **SLDwA** — average
+//! slowdown weighted by job area.
+//!
+//! At planning time all metrics use the *estimated* duration, because that
+//! is the only duration the scheduler knows (§3.1). The same weighted-mean
+//! helpers are reused by `dynp-sim` on actual durations for end-of-run
+//! statistics.
+
+use crate::schedule::Schedule;
+use crate::snapshot::SchedulingProblem;
+
+/// A schedule performance metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Metric {
+    /// Average response time weighted by width (Eq. 2); the ILP objective.
+    ArtwW,
+    /// Average slowdown weighted by job area; the Table 1 yardstick.
+    SldwA,
+    /// Plain average response time.
+    Art,
+    /// Plain average waiting time.
+    AvgWait,
+    /// Plain average slowdown.
+    AvgSlowdown,
+    /// Machine utilization over the schedule span (higher is better).
+    Utilization,
+    /// Schedule makespan measured from "now" (lower is better).
+    Makespan,
+}
+
+/// A metric value paired with its direction, so deciders can compare
+/// without re-deriving which way is "better".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricValue {
+    /// Which metric.
+    pub metric: Metric,
+    /// The value; `0.0` for an empty schedule.
+    pub value: f64,
+}
+
+impl Metric {
+    /// Whether smaller values are better for this metric.
+    pub fn lower_is_better(&self) -> bool {
+        !matches!(self, Metric::Utilization)
+    }
+
+    /// Returns `true` if `a` is strictly better than `b` under this metric.
+    pub fn better(&self, a: f64, b: f64) -> bool {
+        if self.lower_is_better() {
+            a < b
+        } else {
+            a > b
+        }
+    }
+
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::ArtwW => "ARTwW",
+            Metric::SldwA => "SLDwA",
+            Metric::Art => "ART",
+            Metric::AvgWait => "AvgWait",
+            Metric::AvgSlowdown => "AvgSLD",
+            Metric::Utilization => "Util",
+            Metric::Makespan => "Makespan",
+        }
+    }
+
+    /// Evaluates the metric on a planned schedule against its snapshot.
+    /// Returns `0.0` for an empty schedule (no waiting jobs: nothing to
+    /// measure, and the self-tuning step is skipped upstream anyway).
+    pub fn eval(&self, problem: &SchedulingProblem, schedule: &Schedule) -> f64 {
+        if schedule.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Metric::ArtwW => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (job, entry) in zip_jobs(problem, schedule) {
+                    // (t - s_i + d_i) * w_i, per Eq. 2.
+                    let response = (entry.start - job.submit + job.estimated_duration) as f64;
+                    num += response * job.width as f64;
+                    den += job.width as f64;
+                }
+                num / den
+            }
+            Metric::SldwA => {
+                let mut num = 0.0;
+                let mut den = 0.0;
+                for (job, entry) in zip_jobs(problem, schedule) {
+                    let wait = (entry.start - job.submit) as f64;
+                    let run = job.estimated_duration as f64;
+                    let slowdown = (wait + run) / run;
+                    let area = job.estimated_area() as f64;
+                    num += slowdown * area;
+                    den += area;
+                }
+                num / den
+            }
+            Metric::Art => mean(
+                zip_jobs(problem, schedule)
+                    .map(|(job, e)| (e.start - job.submit + job.estimated_duration) as f64),
+            ),
+            Metric::AvgWait => {
+                mean(zip_jobs(problem, schedule).map(|(job, e)| (e.start - job.submit) as f64))
+            }
+            Metric::AvgSlowdown => mean(zip_jobs(problem, schedule).map(|(job, e)| {
+                let wait = (e.start - job.submit) as f64;
+                let run = job.estimated_duration as f64;
+                (wait + run) / run
+            })),
+            Metric::Utilization => {
+                let end = schedule.makespan_end().expect("non-empty") as f64;
+                let span = end - problem.now as f64;
+                if span <= 0.0 {
+                    return 0.0;
+                }
+                let work: f64 = problem.jobs.iter().map(|j| j.estimated_area() as f64).sum();
+                work / (span * problem.capacity() as f64)
+            }
+            Metric::Makespan => (schedule.makespan_end().expect("non-empty") - problem.now) as f64,
+        }
+    }
+
+    /// Evaluates and wraps into a [`MetricValue`].
+    pub fn measure(&self, problem: &SchedulingProblem, schedule: &Schedule) -> MetricValue {
+        MetricValue {
+            metric: *self,
+            value: self.eval(problem, schedule),
+        }
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Pairs each schedule entry with its job record.
+fn zip_jobs<'a>(
+    problem: &'a SchedulingProblem,
+    schedule: &'a Schedule,
+) -> impl Iterator<Item = (&'a dynp_trace::Job, &'a crate::schedule::ScheduleEntry)> {
+    schedule.entries().iter().map(move |entry| {
+        let job = problem
+            .jobs
+            .iter()
+            .find(|j| j.id == entry.id)
+            .expect("validated schedule entry has a job");
+        (job, entry)
+    })
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The paper's schedule quality ratio (Eq. 7):
+/// `quality(p, m) = performance(CPLEX, m) / performance(p, m)` for
+/// lower-is-better metrics (and the reciprocal for utilization), so that
+/// `quality < 1` means the reference (exact) schedule is better and
+/// `(1 - quality) * 100` is the percentage performance loss of policy `p`.
+pub fn quality(metric: Metric, reference: f64, policy_value: f64) -> f64 {
+    if policy_value == 0.0 && reference == 0.0 {
+        return 1.0;
+    }
+    if metric.lower_is_better() {
+        reference / policy_value
+    } else {
+        policy_value / reference
+    }
+}
+
+/// Percentage performance lost by the policy relative to the reference:
+/// `(1 - quality) * 100`. Negative when the policy beats the (time-scaled)
+/// reference, as the paper observes can happen.
+pub fn performance_loss_percent(metric: Metric, reference: f64, policy_value: f64) -> f64 {
+    (1.0 - quality(metric, reference, policy_value)) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan;
+    use crate::policy::Policy;
+    use dynp_trace::Job;
+
+    fn one_job_problem() -> (SchedulingProblem, Schedule) {
+        let p = SchedulingProblem::on_empty_machine(100, 8, vec![Job::exact(0, 40, 4, 60)]);
+        let s = plan(&p, Policy::Fcfs);
+        (p, s)
+    }
+
+    #[test]
+    fn artww_single_job() {
+        let (p, s) = one_job_problem();
+        // start = 100, submit = 40, d = 60 -> response = 120.
+        assert_eq!(Metric::ArtwW.eval(&p, &s), 120.0);
+        assert_eq!(Metric::Art.eval(&p, &s), 120.0);
+        assert_eq!(Metric::AvgWait.eval(&p, &s), 60.0);
+    }
+
+    #[test]
+    fn sldwa_single_job() {
+        let (p, s) = one_job_problem();
+        // wait = 60, run = 60 -> slowdown 2.
+        assert_eq!(Metric::SldwA.eval(&p, &s), 2.0);
+        assert_eq!(Metric::AvgSlowdown.eval(&p, &s), 2.0);
+    }
+
+    #[test]
+    fn artww_weights_by_width() {
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            16,
+            vec![Job::exact(0, 0, 1, 100), Job::exact(1, 0, 3, 100)],
+        );
+        let s = plan(&p, Policy::Fcfs); // both start at 0
+                                        // responses both 100; weighted mean still 100.
+        assert_eq!(Metric::ArtwW.eval(&p, &s), 100.0);
+        // Force different responses: narrow machine.
+        let p2 = SchedulingProblem::on_empty_machine(
+            0,
+            3,
+            vec![Job::exact(0, 0, 1, 100), Job::exact(1, 0, 3, 100)],
+        );
+        let s2 = plan(&p2, Policy::Fcfs);
+        // job0: resp 100 weight 1; job1: starts at 100, resp 200, weight 3.
+        let expect = (100.0 * 1.0 + 200.0 * 3.0) / 4.0;
+        assert_eq!(Metric::ArtwW.eval(&p2, &s2), expect);
+        // Plain ART ignores width.
+        assert_eq!(Metric::Art.eval(&p2, &s2), 150.0);
+    }
+
+    #[test]
+    fn sldwa_weights_by_area() {
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            2,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 300)],
+        );
+        let s = plan(&p, Policy::Fcfs);
+        // job0: wait 0, sld 1, area 200. job1: wait 100, run 300, sld 4/3,
+        // area 600.
+        let expect = (1.0 * 200.0 + (400.0 / 300.0) * 600.0) / 800.0;
+        assert!((Metric::SldwA.eval(&p, &s) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_and_makespan() {
+        let p = SchedulingProblem::on_empty_machine(
+            0,
+            4,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
+        );
+        let s = plan(&p, Policy::Fcfs);
+        // Both run in parallel: makespan 100, work 400, capacity*span 400.
+        assert_eq!(Metric::Makespan.eval(&p, &s), 100.0);
+        assert_eq!(Metric::Utilization.eval(&p, &s), 1.0);
+    }
+
+    #[test]
+    fn empty_schedule_measures_zero() {
+        let p = SchedulingProblem::on_empty_machine(4, 4, vec![]);
+        let s = Schedule::new();
+        for m in [
+            Metric::ArtwW,
+            Metric::SldwA,
+            Metric::Art,
+            Metric::AvgWait,
+            Metric::AvgSlowdown,
+            Metric::Utilization,
+            Metric::Makespan,
+        ] {
+            assert_eq!(m.eval(&p, &s), 0.0);
+        }
+    }
+
+    #[test]
+    fn direction_of_metrics() {
+        assert!(Metric::ArtwW.lower_is_better());
+        assert!(Metric::SldwA.lower_is_better());
+        assert!(!Metric::Utilization.lower_is_better());
+        assert!(Metric::ArtwW.better(1.0, 2.0));
+        assert!(Metric::Utilization.better(0.9, 0.5));
+    }
+
+    #[test]
+    fn quality_ratio_matches_paper_definition() {
+        // CPLEX better: quality < 1, positive loss.
+        let q = quality(Metric::SldwA, 1.0, 1.25);
+        assert!((q - 0.8).abs() < 1e-12);
+        assert!((performance_loss_percent(Metric::SldwA, 1.0, 1.25) - 20.0).abs() < 1e-9);
+        // Policy better (time-scaling artifact): quality > 1, negative loss.
+        let q = quality(Metric::SldwA, 1.2, 1.0);
+        assert!(q > 1.0);
+        assert!(performance_loss_percent(Metric::SldwA, 1.2, 1.0) < 0.0);
+        // Utilization flips the ratio.
+        let q = quality(Metric::Utilization, 0.8, 0.4);
+        assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn measure_wraps_value() {
+        let (p, s) = one_job_problem();
+        let v = Metric::SldwA.measure(&p, &s);
+        assert_eq!(v.metric, Metric::SldwA);
+        assert_eq!(v.value, 2.0);
+    }
+}

@@ -1,0 +1,270 @@
+//! Profile-based list scheduling: turning a policy order into a full
+//! schedule.
+//!
+//! "Planning based RMS schedule the present and future resource usage, so
+//! that newly submitted jobs are placed in the active schedule as soon as
+//! possible and they get a start time assigned. With this approach
+//! backfilling is done implicitly." (§2)
+//!
+//! [`plan`] realizes exactly that: jobs are taken in policy order and each
+//! is placed at the *earliest* time with enough free resources in the
+//! availability profile (machine history plus already-placed jobs). Because
+//! later jobs may slot into holes left before earlier jobs' starts, this is
+//! equivalent to *conservative backfilling* relative to the policy order.
+//!
+//! [`plan_easy`] is an extension (not used by the paper's dynP): EASY-style
+//! aggressive backfilling where only the head job of the order holds a
+//! reservation, which can improve utilization at the cost of delaying
+//! non-head jobs unboundedly.
+
+use crate::policy::Policy;
+use crate::schedule::{Schedule, ScheduleEntry};
+use crate::snapshot::SchedulingProblem;
+
+/// Plans a full schedule for `problem` with the waiting queue ordered by
+/// `policy`. Every job is placed at its earliest feasible start; the
+/// schedule is guaranteed valid (see [`Schedule::validate`]).
+pub fn plan(problem: &SchedulingProblem, policy: Policy) -> Schedule {
+    plan_ordered(problem, &policy.order(&problem.jobs))
+}
+
+/// Plans a full schedule with an explicit job order (must be a permutation
+/// of the snapshot's jobs). Exposed so the ILP compaction step (§3.2) can
+/// re-insert jobs "according to the starting order of the schedule computed
+/// by CPLEX".
+pub fn plan_ordered(problem: &SchedulingProblem, order: &[dynp_trace::Job]) -> Schedule {
+    let mut profile = problem.availability_profile();
+    let mut schedule = Schedule::new();
+    for job in order {
+        let duration = job.estimated_duration.max(1);
+        let start = profile
+            .earliest_fit(problem.now, duration, job.width)
+            .unwrap_or_else(|| {
+                panic!(
+                    "job {} (width {}) cannot ever fit machine of {}",
+                    job.id,
+                    job.width,
+                    problem.capacity()
+                )
+            });
+        profile.allocate(start, start + duration, job.width);
+        schedule.push(ScheduleEntry {
+            id: job.id,
+            start,
+            end: start + duration,
+            width: job.width,
+        });
+    }
+    schedule
+}
+
+/// EASY-style aggressive backfilling (extension; see module docs).
+///
+/// The head job of the policy order gets a reservation at its earliest
+/// feasible start. Remaining jobs are started (planned) in policy order
+/// only if they can run without delaying the head job's reservation;
+/// otherwise they queue behind it. This repeats each time the head job is
+/// placed, mirroring the EASY LoadLeveler algorithm transplanted into a
+/// planning context.
+pub fn plan_easy(problem: &SchedulingProblem, policy: Policy) -> Schedule {
+    let mut waiting = policy.order(&problem.jobs);
+    let mut profile = problem.availability_profile();
+    let mut schedule = Schedule::new();
+    let mut clock = problem.now;
+    while !waiting.is_empty() {
+        // Reserve the head job.
+        let head = waiting.remove(0);
+        let head_dur = head.estimated_duration.max(1);
+        let head_start = profile
+            .earliest_fit(clock, head_dur, head.width)
+            .expect("head job wider than machine");
+        profile.allocate(head_start, head_start + head_dur, head.width);
+        schedule.push(ScheduleEntry {
+            id: head.id,
+            start: head_start,
+            end: head_start + head_dur,
+            width: head.width,
+        });
+        // Backfill: place any remaining job that can start before the head
+        // reservation *without moving it* — i.e. at its earliest fit in the
+        // updated profile, but only if that start is < head_start (true
+        // backfill) — in policy order, one pass.
+        let mut i = 0;
+        while i < waiting.len() {
+            let cand = waiting[i];
+            let dur = cand.estimated_duration.max(1);
+            match profile.earliest_fit(clock, dur, cand.width) {
+                Some(start) if start < head_start => {
+                    profile.allocate(start, start + dur, cand.width);
+                    schedule.push(ScheduleEntry {
+                        id: cand.id,
+                        start,
+                        end: start + dur,
+                        width: cand.width,
+                    });
+                    waiting.remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+        // Next round plans from the head start onward.
+        clock = head_start;
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_platform::MachineHistory;
+    use dynp_trace::{Job, JobId};
+
+    fn snapshot(capacity: u32, jobs: Vec<Job>) -> SchedulingProblem {
+        SchedulingProblem::on_empty_machine(0, capacity, jobs)
+    }
+
+    #[test]
+    fn single_job_starts_now() {
+        let p = snapshot(8, vec![Job::exact(0, 0, 4, 100)]);
+        let s = plan(&p, Policy::Fcfs);
+        assert_eq!(s.start_of(JobId(0)), Some(0));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn fcfs_respects_submission_order() {
+        // Two jobs that cannot run together.
+        let p = snapshot(8, vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)]);
+        let s = plan(&p, Policy::Fcfs);
+        assert_eq!(s.start_of(JobId(0)), Some(0));
+        assert_eq!(s.start_of(JobId(1)), Some(100));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn sjf_reorders_but_stays_valid() {
+        let p = snapshot(8, vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)]);
+        let s = plan(&p, Policy::Sjf);
+        assert_eq!(s.start_of(JobId(1)), Some(0));
+        assert_eq!(s.start_of(JobId(0)), Some(50));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn implicit_backfilling_fills_holes() {
+        // FCFS order: wide job 0 first, then wider job 1 must wait, but
+        // narrow job 2 fits alongside job 0 and is backfilled implicitly.
+        let p = snapshot(
+            8,
+            vec![
+                Job::exact(0, 0, 6, 100),
+                Job::exact(1, 0, 7, 100),
+                Job::exact(2, 0, 2, 100),
+            ],
+        );
+        let s = plan(&p, Policy::Fcfs);
+        assert_eq!(s.start_of(JobId(0)), Some(0));
+        assert_eq!(s.start_of(JobId(1)), Some(100));
+        // Job 2 runs next to job 0 even though job 1 was placed earlier.
+        assert_eq!(s.start_of(JobId(2)), Some(0));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn machine_history_delays_starts() {
+        let history = MachineHistory::build(8, 10, &[(8, 500)]);
+        let p = SchedulingProblem::new(10, history, vec![Job::exact(0, 5, 1, 100)]);
+        let s = plan(&p, Policy::Fcfs);
+        assert_eq!(s.start_of(JobId(0)), Some(500));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn partial_availability_is_used() {
+        // 5 of 8 busy until 200; a width-3 job can start immediately.
+        let history = MachineHistory::build(8, 0, &[(5, 200)]);
+        let p = SchedulingProblem::new(
+            0,
+            history,
+            vec![Job::exact(0, 0, 3, 50), Job::exact(1, 0, 4, 50)],
+        );
+        let s = plan(&p, Policy::Fcfs);
+        assert_eq!(s.start_of(JobId(0)), Some(0));
+        assert_eq!(s.start_of(JobId(1)), Some(200));
+        s.validate(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_snapshot_plans_empty_schedule() {
+        let p = snapshot(8, vec![]);
+        assert!(plan(&p, Policy::Ljf).is_empty());
+    }
+
+    #[test]
+    fn all_policies_produce_valid_schedules() {
+        let p = snapshot(
+            16,
+            (0..20)
+                .map(|i| Job::exact(i, 0, 1 + (i % 7), 60 * (1 + (i as u64 % 9))))
+                .collect(),
+        );
+        for policy in Policy::ALL {
+            plan(&p, policy).validate(&p).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot ever fit")]
+    fn job_wider_than_machine_panics() {
+        let p = SchedulingProblem {
+            now: 0,
+            history: MachineHistory::empty(4, 0),
+            jobs: vec![Job::exact(0, 0, 8, 100)],
+            reservations: Vec::new(),
+        };
+        plan(&p, Policy::Fcfs);
+    }
+
+    #[test]
+    fn easy_backfill_is_valid_and_fills() {
+        let p = snapshot(
+            8,
+            vec![
+                Job::exact(0, 0, 6, 100),
+                Job::exact(1, 0, 7, 100),
+                Job::exact(2, 0, 2, 50),
+            ],
+        );
+        let s = plan_easy(&p, Policy::Fcfs);
+        s.validate(&p).unwrap();
+        // Job 2 backfills next to job 0.
+        assert_eq!(s.start_of(JobId(2)), Some(0));
+    }
+
+    #[test]
+    fn easy_equals_conservative_on_independent_jobs() {
+        // When everything fits at once the two variants agree.
+        let p = snapshot(
+            16,
+            vec![
+                Job::exact(0, 0, 4, 100),
+                Job::exact(1, 0, 4, 100),
+                Job::exact(2, 0, 4, 100),
+            ],
+        );
+        let a = plan(&p, Policy::Fcfs);
+        let b = plan_easy(&p, Policy::Fcfs);
+        for id in [0u32, 1, 2] {
+            assert_eq!(a.start_of(JobId(id)), b.start_of(JobId(id)));
+        }
+    }
+
+    #[test]
+    fn plan_ordered_respects_explicit_order() {
+        let jobs = vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)];
+        let p = snapshot(8, jobs.clone());
+        let s = plan_ordered(&p, &[jobs[1], jobs[0]]);
+        assert_eq!(s.start_of(JobId(1)), Some(0));
+        assert_eq!(s.start_of(JobId(0)), Some(50));
+    }
+}

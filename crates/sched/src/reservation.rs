@@ -1,0 +1,323 @@
+//! Advance reservations — the feature that motivates planning-based RMS in
+//! the paper (§3): *"a request for a reservation is submitted right after.
+//! An answer is expected immediately as other reservation requests might
+//! depend on the acceptance of this request. Hence, the updated resource
+//! plan has to be computed fast."*
+//!
+//! A [`Reservation`] blocks a fixed `[start, end)` window of `width`
+//! resources. Reservations are first-class in the
+//! [`SchedulingProblem`]: the planner,
+//! the schedule validator and the ILP all see capacities reduced by both
+//! the machine history *and* the admitted reservations.
+//!
+//! [`admit`] implements the admission workflow: plan the waiting jobs
+//! first (they were there first), then find the earliest window that still
+//! fits the request — answering in planner time, i.e. milliseconds, which
+//! is exactly why the paper deems exact solvers impractical for this path.
+
+use crate::planner::plan;
+use crate::policy::Policy;
+use crate::snapshot::SchedulingProblem;
+
+use dynp_platform::ResourceProfile;
+
+/// A fixed block of resources promised to a future activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Reservation {
+    /// Identifier, unique within one problem.
+    pub id: u32,
+    /// Absolute start time (inclusive).
+    pub start: u64,
+    /// Absolute end time (exclusive).
+    pub end: u64,
+    /// Resources blocked.
+    pub width: u32,
+}
+
+impl Reservation {
+    /// Duration of the reserved window.
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Basic shape validation.
+    pub fn validate(&self, capacity: u32) -> Result<(), String> {
+        if self.start >= self.end {
+            return Err(format!(
+                "reservation {}: empty window [{}, {})",
+                self.id, self.start, self.end
+            ));
+        }
+        if self.width == 0 || self.width > capacity {
+            return Err(format!(
+                "reservation {}: width {} out of 1..={capacity}",
+                self.id, self.width
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A reservation request: `width` resources for `duration` seconds, no
+/// earlier than `earliest`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReservationRequest {
+    /// Resources required.
+    pub width: u32,
+    /// Window length in seconds.
+    pub duration: u64,
+    /// Earliest acceptable start (absolute).
+    pub earliest: u64,
+}
+
+/// Admission policy: where may a new reservation be placed relative to the
+/// already-planned jobs?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionRule {
+    /// The reservation must not displace any currently planned job: jobs
+    /// are planned first (with `policy`), the reservation fills a gap.
+    AroundPlannedJobs(Policy),
+    /// Only running jobs and existing reservations constrain the window;
+    /// waiting jobs will be re-planned around it (they have no guaranteed
+    /// start times in a planning-based RMS).
+    JobsYield,
+}
+
+/// Tries to admit `request` into `problem`, returning the granted
+/// reservation (earliest possible window) or `None` if `width` exceeds
+/// the machine.
+pub fn admit(
+    problem: &SchedulingProblem,
+    rule: AdmissionRule,
+    request: ReservationRequest,
+) -> Option<Reservation> {
+    let mut profile: ResourceProfile = problem.availability_profile();
+    if let AdmissionRule::AroundPlannedJobs(policy) = rule {
+        let schedule = plan(problem, policy);
+        for entry in schedule.entries() {
+            profile.allocate(entry.start, entry.end, entry.width);
+        }
+    }
+    let earliest = request.earliest.max(problem.now);
+    let start = profile.earliest_fit(earliest, request.duration.max(1), request.width)?;
+    let next_id = problem
+        .reservations
+        .iter()
+        .map(|r| r.id + 1)
+        .max()
+        .unwrap_or(0);
+    Some(Reservation {
+        id: next_id,
+        start,
+        end: start + request.duration.max(1),
+        width: request.width,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metric;
+    use dynp_platform::MachineHistory;
+    use dynp_trace::Job;
+
+    fn problem_with_jobs() -> SchedulingProblem {
+        let history = MachineHistory::build(8, 0, &[(4, 600)]);
+        SchedulingProblem::new(
+            0,
+            history,
+            vec![Job::exact(0, 0, 6, 1200), Job::exact(1, 0, 2, 300)],
+        )
+    }
+
+    #[test]
+    fn reservation_shape_validation() {
+        assert!(Reservation {
+            id: 0,
+            start: 10,
+            end: 10,
+            width: 1
+        }
+        .validate(8)
+        .is_err());
+        assert!(Reservation {
+            id: 0,
+            start: 0,
+            end: 10,
+            width: 9
+        }
+        .validate(8)
+        .is_err());
+        assert!(Reservation {
+            id: 0,
+            start: 0,
+            end: 10,
+            width: 0
+        }
+        .validate(8)
+        .is_err());
+        Reservation {
+            id: 0,
+            start: 0,
+            end: 10,
+            width: 8,
+        }
+        .validate(8)
+        .unwrap();
+    }
+
+    #[test]
+    fn admission_respects_running_jobs() {
+        // 4 of 8 busy until 600: an 8-wide reservation can start at 600
+        // at the earliest (JobsYield ignores waiting jobs).
+        let p = problem_with_jobs();
+        let r = admit(
+            &p,
+            AdmissionRule::JobsYield,
+            ReservationRequest {
+                width: 8,
+                duration: 100,
+                earliest: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.start, 600);
+        assert_eq!(r.end, 700);
+    }
+
+    #[test]
+    fn admission_around_planned_jobs_goes_later() {
+        // Around the planned jobs, the full machine only frees after the
+        // 6-wide job finishes.
+        let p = problem_with_jobs();
+        let r = admit(
+            &p,
+            AdmissionRule::AroundPlannedJobs(Policy::Fcfs),
+            ReservationRequest {
+                width: 8,
+                duration: 100,
+                earliest: 0,
+            },
+        )
+        .unwrap();
+        // FCFS: job0 (w6) runs 600..1800, job1 (w2) 0..300; machine fully
+        // free from 1800.
+        assert_eq!(r.start, 1800);
+    }
+
+    #[test]
+    fn narrow_request_fits_into_gaps() {
+        let p = problem_with_jobs();
+        let r = admit(
+            &p,
+            AdmissionRule::AroundPlannedJobs(Policy::Fcfs),
+            ReservationRequest {
+                width: 2,
+                duration: 100,
+                earliest: 0,
+            },
+        )
+        .unwrap();
+        // 4 running + 2 planned (job1) leaves 2 free right now.
+        assert_eq!(r.start, 0);
+    }
+
+    #[test]
+    fn too_wide_request_is_rejected() {
+        let p = problem_with_jobs();
+        assert!(admit(
+            &p,
+            AdmissionRule::JobsYield,
+            ReservationRequest {
+                width: 9,
+                duration: 10,
+                earliest: 0
+            },
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn earliest_bound_is_respected() {
+        let p = problem_with_jobs();
+        let r = admit(
+            &p,
+            AdmissionRule::JobsYield,
+            ReservationRequest {
+                width: 1,
+                duration: 60,
+                earliest: 5000,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.start, 5000);
+    }
+
+    #[test]
+    fn planner_routes_jobs_around_reservations() {
+        // An admitted reservation becomes part of the problem; planning
+        // afterwards must avoid it.
+        let mut p = problem_with_jobs();
+        let r = admit(
+            &p,
+            AdmissionRule::JobsYield,
+            ReservationRequest {
+                width: 8,
+                duration: 1000,
+                earliest: 600,
+            },
+        )
+        .unwrap();
+        p.reservations.push(r);
+        p.validate().unwrap();
+        for policy in Policy::PAPER_SET {
+            let s = plan(&p, policy);
+            s.validate(&p).unwrap();
+            // No planned job may overlap the full-machine reservation.
+            for e in s.entries() {
+                assert!(
+                    e.end <= r.start || e.start >= r.end,
+                    "{policy}: job {} [{}, {}) overlaps reservation [{}, {})",
+                    e.id,
+                    e.start,
+                    e.end,
+                    r.start,
+                    r.end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_still_work_with_reservations() {
+        let mut p = problem_with_jobs();
+        p.reservations.push(Reservation {
+            id: 0,
+            start: 600,
+            end: 1600,
+            width: 8,
+        });
+        let s = plan(&p, Policy::Sjf);
+        assert!(Metric::SldwA.eval(&p, &s) >= 1.0);
+    }
+
+    #[test]
+    fn successive_admissions_stack() {
+        let mut p = SchedulingProblem::on_empty_machine(0, 4, vec![]);
+        for k in 0..3 {
+            let r = admit(
+                &p,
+                AdmissionRule::JobsYield,
+                ReservationRequest {
+                    width: 4,
+                    duration: 100,
+                    earliest: 0,
+                },
+            )
+            .unwrap();
+            assert_eq!(r.start, k * 100, "reservations must queue up");
+            p.reservations.push(r);
+        }
+        p.validate().unwrap();
+    }
+}

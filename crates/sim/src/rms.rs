@@ -1,0 +1,309 @@
+//! The planning-based RMS as a discrete-event model.
+//!
+//! Event semantics follow CCS (§2): submissions trigger a self-tuning step
+//! (snapshot → policy selection → full re-plan); completions release
+//! resources and re-plan with the active policy so the plan tracks reality
+//! when jobs finish earlier than estimated. Jobs are dispatched whenever
+//! the freshly planned schedule says their start is "now".
+
+use crate::record::JobRecord;
+use crate::snapshots::SnapshotLog;
+use dynp_core::PolicySelector;
+use dynp_des::{EventQueue, Model};
+use dynp_platform::Machine;
+use dynp_sched::{plan, Policy, SchedulingProblem};
+use dynp_trace::{Job, JobId};
+use std::collections::HashMap;
+
+/// Events driving the RMS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmsEvent {
+    /// A job arrives in the system.
+    Submit(Job),
+    /// A running job completes (its *actual* end).
+    Finish(JobId),
+}
+
+/// The resource management system under simulation.
+#[derive(Debug)]
+pub struct Rms<S: PolicySelector> {
+    machine: Machine,
+    selector: S,
+    /// Waiting queue: submitted, not yet dispatched.
+    waiting: Vec<Job>,
+    /// Jobs currently running, for completion bookkeeping.
+    started: HashMap<JobId, Job>,
+    /// Start times of running jobs.
+    start_times: HashMap<JobId, u64>,
+    /// Completed-job records, in completion order.
+    records: Vec<JobRecord>,
+    /// `(time, policy)` at every selection point.
+    policy_log: Vec<(u64, Policy)>,
+    /// Snapshot tap for the off-line ILP comparison.
+    snapshot_log: SnapshotLog,
+    /// The policy used for the most recent plan.
+    active: Option<Policy>,
+    /// Run a self-tuning step on completions too (extension; the paper
+    /// tunes on submissions only).
+    tune_on_finish: bool,
+}
+
+impl<S: PolicySelector> Rms<S> {
+    /// A fresh RMS over `capacity` resources driven by `selector`.
+    pub fn new(capacity: u32, selector: S, snapshot_log: SnapshotLog) -> Rms<S> {
+        Rms {
+            machine: Machine::new(capacity),
+            selector,
+            waiting: Vec::new(),
+            started: HashMap::new(),
+            start_times: HashMap::new(),
+            records: Vec::new(),
+            policy_log: Vec::new(),
+            snapshot_log,
+            active: None,
+            tune_on_finish: false,
+        }
+    }
+
+    /// Enables self-tuning on completion events as well (ablation).
+    pub fn tune_on_finish(mut self, enabled: bool) -> Self {
+        self.tune_on_finish = enabled;
+        self
+    }
+
+    /// Completed-job records so far.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Policy chosen at each selection point.
+    pub fn policy_log(&self) -> &[(u64, Policy)] {
+        &self.policy_log
+    }
+
+    /// The snapshot tap.
+    pub fn snapshot_log(&self) -> &SnapshotLog {
+        &self.snapshot_log
+    }
+
+    /// The underlying machine (for capacity / utilization queries).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The policy selector (e.g. to read dynP statistics after the run).
+    pub fn selector(&self) -> &S {
+        &self.selector
+    }
+
+    /// Decomposes the RMS into its result parts:
+    /// `(records, policy log, snapshots, selector)`.
+    pub fn into_parts(self) -> (Vec<JobRecord>, Vec<(u64, Policy)>, SnapshotLog, S) {
+        (
+            self.records,
+            self.policy_log,
+            self.snapshot_log,
+            self.selector,
+        )
+    }
+
+    /// Re-plans the full schedule and dispatches all jobs due now.
+    /// `tune` decides whether the policy selector runs a self-tuning step
+    /// or the active policy is reused.
+    fn replan(&mut self, now: u64, queue: &mut EventQueue<RmsEvent>, tune: bool) {
+        if self.waiting.is_empty() {
+            return;
+        }
+        let problem = SchedulingProblem::new(now, self.machine.history(now), self.waiting.clone());
+        let policy = match self.active {
+            Some(active) if !tune => active,
+            _ => {
+                let chosen = self.selector.select(&problem);
+                self.policy_log.push((now, chosen));
+                self.snapshot_log.offer(&problem, chosen);
+                chosen
+            }
+        };
+        self.active = Some(policy);
+        let schedule = plan(&problem, policy);
+        debug_assert!(schedule.validate(&problem).is_ok());
+        // Dispatch everything planned to start right now.
+        for entry in schedule.entries() {
+            if entry.start != now {
+                continue;
+            }
+            let idx = self
+                .waiting
+                .iter()
+                .position(|j| j.id == entry.id)
+                .expect("planned job is waiting");
+            let job = self.waiting.swap_remove(idx);
+            let actual_end = self.machine.start(&job, now);
+            self.started.insert(job.id, job);
+            self.start_times.insert(job.id, now);
+            queue.schedule(actual_end, RmsEvent::Finish(job.id));
+        }
+    }
+}
+
+impl<S: PolicySelector> Model for Rms<S> {
+    type Event = RmsEvent;
+
+    fn handle(&mut self, now: u64, event: RmsEvent, queue: &mut EventQueue<RmsEvent>) {
+        match event {
+            RmsEvent::Submit(job) => {
+                debug_assert!(job.submit == now, "submit event at wrong time");
+                assert!(
+                    job.width <= self.machine.capacity(),
+                    "job {} wider than machine — filter the trace first",
+                    job.id
+                );
+                self.waiting.push(job);
+                // Every submission is a self-tuning step (§4: "at every job
+                // submission").
+                self.replan(now, queue, true);
+            }
+            RmsEvent::Finish(id) => {
+                self.machine.complete(id);
+                let job = self.started.remove(&id).expect("finished job was started");
+                let start = self.start_times.remove(&id).expect("start recorded");
+                self.records.push(JobRecord {
+                    id,
+                    submit: job.submit,
+                    start,
+                    end: now,
+                    width: job.width,
+                    estimated_duration: job.estimated_duration,
+                });
+                // Completions release resources; re-plan so waiting jobs
+                // move forward (with the active policy unless configured to
+                // tune here too).
+                self.replan(now, queue, self.tune_on_finish);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_core::FixedPolicy;
+    use dynp_des::run_to_completion;
+
+    fn drive(capacity: u32, jobs: Vec<Job>, policy: Policy) -> Rms<FixedPolicy> {
+        let mut rms = Rms::new(capacity, FixedPolicy(policy), SnapshotLog::disabled());
+        let mut queue = EventQueue::new();
+        for job in jobs {
+            queue.schedule(job.submit, RmsEvent::Submit(job));
+        }
+        run_to_completion(&mut rms, &mut queue);
+        rms
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let rms = drive(4, vec![Job::exact(0, 10, 2, 100)], Policy::Fcfs);
+        assert_eq!(rms.records().len(), 1);
+        let r = rms.records()[0];
+        assert_eq!(r.start, 10);
+        assert_eq!(r.end, 110);
+        assert_eq!(r.wait(), 0);
+    }
+
+    #[test]
+    fn sequentialized_jobs_queue_up() {
+        let jobs = vec![Job::exact(0, 0, 4, 100), Job::exact(1, 0, 4, 100)];
+        let rms = drive(4, jobs, Policy::Fcfs);
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records[0].start, 0);
+        assert_eq!(records[1].start, 100);
+    }
+
+    #[test]
+    fn early_finish_pulls_waiting_jobs_forward() {
+        // Job 0 estimates 1000 s but actually runs 100 s; job 1 must not
+        // wait for the estimate.
+        let jobs = vec![Job::new(0, 0, 4, 1000, 100), Job::exact(1, 0, 4, 50)];
+        let rms = drive(4, jobs, Policy::Fcfs);
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records[0].end, 100);
+        assert_eq!(records[1].start, 100);
+    }
+
+    #[test]
+    fn narrow_jobs_backfill_alongside_wide_ones() {
+        let jobs = vec![
+            Job::exact(0, 0, 3, 100),
+            Job::exact(1, 0, 4, 100), // must wait (3+4 > 4)
+            Job::exact(2, 0, 1, 100), // fits alongside job 0
+        ];
+        let rms = drive(4, jobs, Policy::Fcfs);
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records[0].start, 0);
+        assert_eq!(records[2].start, 0);
+        assert_eq!(records[1].start, 100);
+    }
+
+    #[test]
+    fn sjf_reorders_the_queue() {
+        // All compete for the full machine; SJF runs short before long even
+        // though the long one arrived first (both waiting when machine
+        // frees).
+        let jobs = vec![
+            Job::exact(0, 0, 4, 100), // running first
+            Job::exact(1, 1, 4, 1000),
+            Job::exact(2, 2, 4, 10),
+        ];
+        let rms = drive(4, jobs, Policy::Sjf);
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records[2].start, 100); // short first
+        assert_eq!(records[1].start, 110);
+    }
+
+    #[test]
+    fn ljf_runs_long_jobs_first() {
+        let jobs = vec![
+            Job::exact(0, 0, 4, 100),
+            Job::exact(1, 1, 4, 10),
+            Job::exact(2, 2, 4, 1000),
+        ];
+        let rms = drive(4, jobs, Policy::Ljf);
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records[2].start, 100);
+        assert_eq!(records[1].start, 1100);
+    }
+
+    #[test]
+    fn policy_log_has_one_entry_per_submission() {
+        let jobs: Vec<Job> = (0..5)
+            .map(|i| Job::exact(i, i as u64 * 10, 1, 50))
+            .collect();
+        let rms = drive(4, jobs, Policy::Fcfs);
+        assert_eq!(rms.policy_log().len(), 5);
+    }
+
+    #[test]
+    fn all_jobs_complete_and_machine_drains() {
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| Job::exact(i, (i as u64) * 7, 1 + i % 4, 60 + (i as u64 % 5) * 30))
+            .collect();
+        let rms = drive(8, jobs, Policy::Fcfs);
+        assert_eq!(rms.records().len(), 30);
+        assert_eq!(rms.machine().free(), 8);
+        // No job starts before its submission.
+        for r in rms.records() {
+            assert!(r.start >= r.submit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than machine")]
+    fn oversized_job_panics() {
+        drive(4, vec![Job::exact(0, 0, 8, 100)], Policy::Fcfs);
+    }
+}

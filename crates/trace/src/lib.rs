@@ -1,0 +1,34 @@
+//! Workload substrate for the dynP reproduction.
+//!
+//! The paper evaluates the self-tuning dynP scheduler against CPLEX-computed
+//! schedules on the **CTC trace** from the Parallel Workloads Archive. This
+//! crate provides everything needed to feed such workloads into the
+//! simulator:
+//!
+//! * [`job`] — the rigid-job model used throughout the workspace (requested
+//!   width, estimated duration, actual duration, submission time),
+//! * [`swf`] — a reader/writer for the Standard Workload Format used by the
+//!   Parallel Workloads Archive, so real traces (CTC, KTH, SDSC, …) can be
+//!   replayed unchanged,
+//! * [`synth`] — a statistically CTC-like synthetic workload generator used
+//!   when the original trace file is not available (see DESIGN.md §1),
+//! * [`stats`] — summary statistics over job sets (interarrival times, width
+//!   and runtime distributions) used to sanity-check generated workloads,
+//! * [`filter`] — windowing and rescaling helpers for carving experiment
+//!   slices out of long traces.
+//!
+//! All times are integer **seconds** (`u64`), matching the paper's "the
+//! smallest time step in resource management systems is usually one second".
+
+pub mod filter;
+pub mod job;
+pub mod lublin;
+pub mod stats;
+pub mod swf;
+pub mod synth;
+
+pub use job::{Job, JobId};
+pub use lublin::LublinModel;
+pub use stats::TraceStats;
+pub use swf::{SwfError, SwfJob, SwfTrace};
+pub use synth::{CtcModel, SyntheticTrace, WorkloadModel};

@@ -1,0 +1,403 @@
+//! Synthetic workload generation modelled on the CTC trace.
+//!
+//! The original CTC trace (Cornell Theory Center IBM SP2, 430 nodes) is
+//! distributed by the Parallel Workloads Archive and is not bundled here; per
+//! DESIGN.md §1 we substitute a statistically CTC-like generator. The
+//! generator reproduces the first-order properties the paper's evaluation
+//! depends on:
+//!
+//! * **Arrivals**: Poisson with the paper's stated mean interarrival time of
+//!   369 s, modulated by a day/night cycle, plus occasional *bursts* — the
+//!   "hundreds of jobs for a parameter study … submitted in one go via a
+//!   script" from the paper's introduction. Bursts are what make policy
+//!   switching worthwhile, because they abruptly change the waiting queue's
+//!   characteristics.
+//! * **Widths**: dominated by serial jobs with strong power-of-two bias,
+//!   capped at the 430-node machine size.
+//! * **Runtimes**: log-uniform over seconds-to-hours, with user classes that
+//!   skew short-sequential or long-parallel.
+//! * **Estimates**: actual runtime times an over-estimation factor, rounded
+//!   up to "human" values (full minutes/hours), as archive studies of user
+//!   estimates observe.
+//!
+//! Everything is driven by a seedable RNG so experiments are reproducible.
+
+use crate::job::{sort_by_submit, Job, JobId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of nodes of the CTC machine.
+pub const CTC_NODES: u32 = 430;
+/// Mean interarrival time of the CTC trace, as stated in §4 of the paper.
+pub const CTC_MEAN_INTERARRIVAL: f64 = 369.0;
+
+/// A workload model produces a job stream for a machine of a given size.
+pub trait WorkloadModel {
+    /// Number of resources the modelled machine exposes.
+    fn machine_size(&self) -> u32;
+    /// Generates `n` jobs starting at time 0, in submit order with ids
+    /// `0..n`.
+    fn generate(&self, n: usize, seed: u64) -> SyntheticTrace;
+}
+
+/// A generated workload plus the machine it targets.
+#[derive(Clone, Debug)]
+pub struct SyntheticTrace {
+    /// Machine size in resources.
+    pub machine_size: u32,
+    /// Jobs in canonical submit order, ids `0..len`.
+    pub jobs: Vec<Job>,
+}
+
+/// Tunable CTC-like workload model. [`CtcModel::default`] matches the
+/// paper's setting; the fields are public so ablation experiments can sweep
+/// them.
+#[derive(Clone, Debug)]
+pub struct CtcModel {
+    /// Machine size (default: 430 nodes).
+    pub nodes: u32,
+    /// Mean interarrival time in seconds (default: 369).
+    pub mean_interarrival: f64,
+    /// Probability that a submission event is a *burst* (script submission)
+    /// rather than a single job.
+    pub burst_probability: f64,
+    /// Burst length range (inclusive), e.g. a parameter study of 5–60 jobs.
+    pub burst_len: (usize, usize),
+    /// Probability that a job is serial (width 1).
+    pub serial_fraction: f64,
+    /// Maximum runtime in seconds (default: 18 h, CTC's queue limit).
+    pub max_runtime: u64,
+    /// Minimum runtime in seconds.
+    pub min_runtime: u64,
+    /// Strength of the day/night arrival modulation in `[0, 1)`: 0 = flat,
+    /// 0.5 = daytime rate is 3x the night rate.
+    pub diurnal_amplitude: f64,
+}
+
+impl Default for CtcModel {
+    fn default() -> Self {
+        CtcModel {
+            nodes: CTC_NODES,
+            mean_interarrival: CTC_MEAN_INTERARRIVAL,
+            burst_probability: 0.06,
+            burst_len: (5, 40),
+            serial_fraction: 0.35,
+            max_runtime: 18 * 3600,
+            min_runtime: 30,
+            diurnal_amplitude: 0.45,
+        }
+    }
+}
+
+/// The user classes whose mix changes over time and drives dynP's policy
+/// switches: short sequential work favours SJF, long massively-parallel
+/// work favours LJF, mixed interactive work favours FCFS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum UserClass {
+    /// Hundreds of short, mostly sequential jobs (parameter studies).
+    ShortSequential,
+    /// Long-running, wide production jobs.
+    LongParallel,
+    /// General mix.
+    Mixed,
+}
+
+impl CtcModel {
+    /// Samples an exponential interarrival gap with the given mean.
+    fn exp_gap(&self, rng: &mut StdRng, mean: f64) -> f64 {
+        // Inverse-CDF sampling; `random` returns [0,1), so 1-u is in (0,1].
+        let u: f64 = rng.random();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Arrival-rate multiplier at a given time of day (seconds since trace
+    /// start, day = 86 400 s). Peak at 14:00, trough at 02:00.
+    fn diurnal_factor(&self, t: f64) -> f64 {
+        let day_fraction = (t % 86_400.0) / 86_400.0;
+        let phase = (day_fraction - 14.0 / 24.0) * std::f64::consts::TAU;
+        1.0 + self.diurnal_amplitude * phase.cos()
+    }
+
+    fn sample_class(&self, rng: &mut StdRng) -> UserClass {
+        let u: f64 = rng.random();
+        if u < 0.4 {
+            UserClass::ShortSequential
+        } else if u < 0.7 {
+            UserClass::Mixed
+        } else {
+            UserClass::LongParallel
+        }
+    }
+
+    /// Samples a job width for a user class: serial with probability
+    /// `serial_fraction`, otherwise power-of-two biased, occasionally an
+    /// arbitrary size, capped at the machine.
+    fn sample_width(&self, rng: &mut StdRng, class: UserClass) -> u32 {
+        let serial_p = match class {
+            UserClass::ShortSequential => (self.serial_fraction * 2.0).min(0.9),
+            UserClass::Mixed => self.serial_fraction,
+            UserClass::LongParallel => self.serial_fraction * 0.2,
+        };
+        if rng.random::<f64>() < serial_p {
+            return 1;
+        }
+        let max_log2 = (self.nodes as f64).log2().floor() as u32; // 8 for 430
+        let bias = match class {
+            UserClass::ShortSequential => 0.35,
+            UserClass::Mixed => 0.5,
+            UserClass::LongParallel => 0.75,
+        };
+        // Power of two with exponent drawn from a triangular-ish distribution
+        // whose mode scales with `bias`.
+        let exp =
+            (rng.random::<f64>() * rng.random::<f64>().max(bias) * max_log2 as f64).round() as u32;
+        let mut width = 1u32 << exp.min(max_log2);
+        // ~20% of parallel jobs use a non-power-of-two size.
+        if rng.random::<f64>() < 0.2 {
+            let lo = (width / 2).max(2);
+            let hi = (width * 3 / 2).min(self.nodes);
+            if lo < hi {
+                width = rng.random_range(lo..=hi);
+            }
+        }
+        width.clamp(1, self.nodes)
+    }
+
+    /// Samples an actual runtime (log-uniform within a class-specific band).
+    fn sample_runtime(&self, rng: &mut StdRng, class: UserClass) -> u64 {
+        let (lo, hi) = match class {
+            UserClass::ShortSequential => (self.min_runtime, 30 * 60),
+            UserClass::Mixed => (self.min_runtime, self.max_runtime / 3),
+            UserClass::LongParallel => (30 * 60, self.max_runtime),
+        };
+        let (lo, hi) = (lo.max(1) as f64, hi.max(2u64) as f64);
+        let v = (lo.ln() + rng.random::<f64>() * (hi.ln() - lo.ln())).exp();
+        (v.round() as u64).clamp(self.min_runtime.max(1), self.max_runtime)
+    }
+
+    /// Samples the user's runtime estimate: the actual runtime inflated by an
+    /// over-estimation factor and rounded up to a "human" granularity.
+    fn sample_estimate(&self, rng: &mut StdRng, actual: u64) -> u64 {
+        // Over-estimation factors follow the well-documented pattern that
+        // many users pick the queue limit or a generous round number:
+        // a point mass near 1 plus a heavy tail up to ~10x.
+        let u: f64 = rng.random();
+        let factor = if u < 0.2 {
+            1.0
+        } else if u < 0.75 {
+            1.0 + 2.0 * rng.random::<f64>() // 1x..3x
+        } else {
+            3.0 + 7.0 * rng.random::<f64>() // 3x..10x
+        };
+        let raw = (actual as f64 * factor).ceil() as u64;
+        let granularity = if raw < 1800 {
+            60 // round to minutes below 30 min
+        } else if raw < 4 * 3600 {
+            600 // 10-minute steps below 4 h
+        } else {
+            3600 // full hours above
+        };
+        let rounded = raw.div_ceil(granularity) * granularity;
+        rounded.clamp(actual.max(1), self.max_runtime.max(actual))
+    }
+}
+
+impl WorkloadModel for CtcModel {
+    fn machine_size(&self) -> u32 {
+        self.nodes
+    }
+
+    fn generate(&self, n: usize, seed: u64) -> SyntheticTrace {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut jobs = Vec::with_capacity(n);
+        let mut t = 0.0_f64;
+        while jobs.len() < n {
+            // Thin the base Poisson process by the diurnal factor.
+            let gap = self.exp_gap(&mut rng, self.mean_interarrival) / self.diurnal_factor(t);
+            t += gap;
+            let submit = t.round() as u64;
+            let class = self.sample_class(&mut rng);
+            let burst = if rng.random::<f64>() < self.burst_probability {
+                rng.random_range(self.burst_len.0..=self.burst_len.1)
+            } else {
+                1
+            };
+            // Jobs in a burst share a class and (mostly) a shape: the same
+            // program run over a parameter sweep.
+            let burst_width = self.sample_width(&mut rng, class);
+            let burst_runtime = self.sample_runtime(&mut rng, class);
+            for k in 0..burst {
+                if jobs.len() >= n {
+                    break;
+                }
+                let (width, actual) = if burst == 1 {
+                    (burst_width, burst_runtime)
+                } else {
+                    // Within a burst, runtimes scatter by +-30%, widths stay.
+                    let jitter = 0.7 + 0.6 * rng.random::<f64>();
+                    (
+                        burst_width,
+                        ((burst_runtime as f64 * jitter).round() as u64)
+                            .clamp(self.min_runtime.max(1), self.max_runtime),
+                    )
+                };
+                let estimated = self.sample_estimate(&mut rng, actual);
+                jobs.push(Job {
+                    id: JobId(jobs.len() as u32),
+                    // Script submissions arrive in the same second or a few
+                    // seconds apart.
+                    submit: submit + k as u64,
+                    width,
+                    estimated_duration: estimated,
+                    actual_duration: actual,
+                    user: class as u32 + 1,
+                });
+            }
+        }
+        sort_by_submit(&mut jobs);
+        // Re-id after sorting so ids are again monotone in submit order.
+        for (i, job) in jobs.iter_mut().enumerate() {
+            job.id = JobId(i as u32);
+        }
+        SyntheticTrace {
+            machine_size: self.nodes,
+            jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(n: usize, seed: u64) -> SyntheticTrace {
+        CtcModel::default().generate(n, seed)
+    }
+
+    #[test]
+    fn generates_requested_count_in_submit_order() {
+        let t = gen(500, 42);
+        assert_eq!(t.jobs.len(), 500);
+        for w in t.jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+        for (i, j) in t.jobs.iter().enumerate() {
+            assert_eq!(j.id.0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        assert_eq!(gen(200, 7).jobs, gen(200, 7).jobs);
+    }
+
+    #[test]
+    fn different_seed_changes_workload() {
+        assert_ne!(gen(200, 7).jobs, gen(200, 8).jobs);
+    }
+
+    #[test]
+    fn all_jobs_valid_and_fit_machine() {
+        let t = gen(1000, 1);
+        for j in &t.jobs {
+            j.validate().unwrap();
+            assert!(j.width <= t.machine_size);
+            assert!(j.estimated_duration >= j.actual_duration.min(j.estimated_duration));
+            assert!(j.actual_duration >= CtcModel::default().min_runtime);
+            assert!(j.actual_duration <= CtcModel::default().max_runtime);
+        }
+    }
+
+    #[test]
+    fn estimates_never_below_actual() {
+        let t = gen(1000, 3);
+        for j in &t.jobs {
+            assert!(
+                j.estimated_duration >= j.actual_duration,
+                "job {:?}: estimate {} < actual {}",
+                j.id,
+                j.estimated_duration,
+                j.actual_duration
+            );
+        }
+    }
+
+    #[test]
+    fn mean_interarrival_roughly_matches_ctc() {
+        let t = gen(5000, 11);
+        let span = t.jobs.last().unwrap().submit - t.jobs[0].submit;
+        let mean = span as f64 / (t.jobs.len() - 1) as f64;
+        // Bursts compress arrivals, diurnal thinning stretches them; the
+        // effective mean just needs to be the right order of magnitude.
+        assert!(
+            (50.0..=800.0).contains(&mean),
+            "mean interarrival {mean} out of plausible range"
+        );
+    }
+
+    #[test]
+    fn serial_jobs_are_common() {
+        let t = gen(2000, 5);
+        let serial = t.jobs.iter().filter(|j| j.width == 1).count();
+        let frac = serial as f64 / t.jobs.len() as f64;
+        assert!(
+            (0.2..=0.7).contains(&frac),
+            "serial fraction {frac} out of range"
+        );
+    }
+
+    #[test]
+    fn widths_are_power_of_two_biased() {
+        let t = gen(2000, 9);
+        let parallel: Vec<_> = t.jobs.iter().filter(|j| j.width > 1).collect();
+        let pow2 = parallel
+            .iter()
+            .filter(|j| j.width.is_power_of_two())
+            .count();
+        assert!(
+            pow2 as f64 / parallel.len() as f64 > 0.5,
+            "power-of-two fraction too low"
+        );
+    }
+
+    #[test]
+    fn workload_mixes_short_and_long_jobs() {
+        let t = gen(2000, 13);
+        let short = t.jobs.iter().filter(|j| j.actual_duration < 1800).count();
+        let long = t
+            .jobs
+            .iter()
+            .filter(|j| j.actual_duration > 4 * 3600)
+            .count();
+        assert!(short > 100, "too few short jobs: {short}");
+        assert!(long > 50, "too few long jobs: {long}");
+    }
+
+    #[test]
+    fn bursts_occur() {
+        let t = gen(3000, 17);
+        // A burst shows as many consecutive submissions 1 second apart with
+        // identical width.
+        let mut max_run = 1;
+        let mut run = 1;
+        for w in t.jobs.windows(2) {
+            if w[1].submit - w[0].submit <= 1 && w[1].width == w[0].width {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(max_run >= 5, "no bursts detected (max run {max_run})");
+    }
+
+    #[test]
+    fn custom_model_respects_node_cap() {
+        let model = CtcModel {
+            nodes: 64,
+            ..CtcModel::default()
+        };
+        let t = model.generate(500, 23);
+        assert!(t.jobs.iter().all(|j| j.width <= 64));
+    }
+}

@@ -1,0 +1,91 @@
+//! Watching dynP switch policies as workload characteristics change.
+//!
+//! Builds a workload with three distinct phases — a flood of short serial
+//! jobs, then long massively-parallel production jobs, then a mix — and
+//! traces which policy the self-tuning dynP scheduler selects in each
+//! phase. This is the scenario from the paper's introduction: "some users
+//! primarily submit parallel and long running jobs, while others submit
+//! hundreds of short and sequential jobs."
+//!
+//! Run with: `cargo run --release --example policy_switching`
+
+use dynp_rs::prelude::*;
+
+/// Hand-built three-phase workload on a small machine.
+fn phased_workload() -> Vec<Job> {
+    let mut jobs = Vec::new();
+    let mut id = 0u32;
+    let mut push = |submit: u64, width: u32, duration: u64, jobs: &mut Vec<Job>| {
+        jobs.push(Job::exact(id, submit, width, duration));
+        id += 1;
+    };
+    // Phase 1 (t = 0 .. 2h): a parameter study — many short serial jobs
+    // plus one long wide job clogging the machine; SJF should win.
+    push(0, 14, 7_200, &mut jobs);
+    for k in 0..40 {
+        push(10 + k * 30, 1, 300 + (k % 5) * 60, &mut jobs);
+    }
+    // Phase 2 (t = 3h .. 8h): long production jobs; LJF packs them best.
+    for k in 0..12 {
+        push(10_800 + k * 600, 8, 14_400 + (k % 3) * 3_600, &mut jobs);
+    }
+    // Phase 3 (t = 12h ..): a balanced mix.
+    for k in 0..30 {
+        let (w, d) = match k % 3 {
+            0 => (1, 900),
+            1 => (4, 3_600),
+            _ => (8, 7_200),
+        };
+        push(43_200 + k * 400, w, d, &mut jobs);
+    }
+    jobs
+}
+
+fn main() {
+    let jobs = phased_workload();
+    let machine = 16;
+    println!(
+        "three-phase workload: {} jobs on {machine} nodes",
+        jobs.len()
+    );
+
+    let run = simulate(
+        &jobs,
+        SelfTuning::paper_config(Metric::SldwA),
+        SimConfig::new(machine),
+    );
+
+    println!();
+    println!("--- policy chosen at each self-tuning step (compressed) ---");
+    let mut last: Option<Policy> = None;
+    for &(time, policy) in &run.policy_log {
+        if last != Some(policy) {
+            let hours = time as f64 / 3600.0;
+            println!("  t = {hours:>5.1} h  ->  {policy}");
+            last = Some(policy);
+        }
+    }
+
+    let stats = run.selector.stats();
+    println!();
+    println!(
+        "switches: {} over {} steps ({:.0}% switch rate)",
+        stats.switches(),
+        stats.steps(),
+        stats.switch_rate() * 100.0
+    );
+    println!();
+    println!("--- per-policy residency ---");
+    let total: u64 = stats.residency().values().sum::<u64>().max(1);
+    for policy in Policy::PAPER_SET {
+        let seconds = stats.residency().get(&policy).copied().unwrap_or(0);
+        println!(
+            "  {:<5} {:>7.1} h ({:>4.1}%)",
+            policy.name(),
+            seconds as f64 / 3600.0,
+            100.0 * seconds as f64 / total as f64
+        );
+    }
+    println!();
+    println!("run summary:\n{}", run.summary);
+}

@@ -1,0 +1,57 @@
+//! Quickstart: generate a CTC-like workload, replay it under the
+//! self-tuning dynP scheduler, and print the run statistics.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dynp_rs::prelude::*;
+
+fn main() {
+    // 1. A workload: 300 jobs shaped like the CTC trace, on a 128-node
+    //    machine (seeded, so every run is identical).
+    let model = CtcModel {
+        nodes: 128,
+        mean_interarrival: 180.0,
+        ..CtcModel::default()
+    };
+    let trace = model.generate(300, 42);
+    println!("--- workload ---");
+    println!("{}", TraceStats::compute(&trace.jobs));
+    println!();
+
+    // 2. The scheduler: dynP switching among FCFS/SJF/LJF, deciding by
+    //    slowdown weighted by job area (the paper's Table 1 metric), with
+    //    the advanced decider.
+    let scheduler = SelfTuning::paper_config(Metric::SldwA);
+
+    // 3. Replay the trace through the planning-based RMS.
+    let run = simulate(&trace.jobs, scheduler, SimConfig::new(trace.machine_size));
+
+    println!("--- results under {} ---", run.label);
+    println!("{}", run.summary);
+    println!();
+    println!(
+        "policy switches: {} over {} self-tuning steps",
+        run.selector.stats().switches(),
+        run.selector.stats().steps()
+    );
+    for t in run.selector.stats().transitions().iter().take(5) {
+        println!("  t={:>8}s  {} -> {}", t.time, t.from, t.to);
+    }
+
+    // 4. Compare against the fixed policies.
+    println!();
+    println!("--- fixed-policy baselines (SLDwA / avg response) ---");
+    for policy in Policy::PAPER_SET {
+        let fixed = simulate(
+            &trace.jobs,
+            FixedPolicy(policy),
+            SimConfig::new(trace.machine_size),
+        );
+        println!(
+            "  {:<5} SLDwA {:>6.2}   avg response {:>8.0} s",
+            policy.name(),
+            fixed.summary.sldwa,
+            fixed.summary.avg_response
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Replaying a real Parallel-Workloads-Archive trace (SWF format).
+//!
+//! Reads an SWF file (pass a path as the first argument) or, if none is
+//! given, synthesizes a CTC-like workload, *writes it out as SWF*, parses
+//! it back, and replays it — demonstrating the full archive round trip the
+//! evaluation pipeline supports. Drop in the real `CTC-SP2-1996-3.1-cln.swf`
+//! to reproduce the paper's exact workload.
+//!
+//! Run with: `cargo run --release --example swf_replay [trace.swf]`
+
+use dynp_rs::prelude::*;
+use dynp_rs::trace::swf;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let (text, source) = match &arg {
+        Some(path) => (
+            std::fs::read_to_string(path).expect("cannot read SWF file"),
+            path.clone(),
+        ),
+        None => {
+            // No file given: build a CTC-like workload and serialize it,
+            // so the rest of the pipeline is identical either way.
+            let model = CtcModel {
+                nodes: 128,
+                mean_interarrival: 200.0,
+                ..CtcModel::default()
+            };
+            let trace = model.generate(400, 7);
+            (
+                swf::swf_to_string(&trace.jobs, trace.machine_size),
+                "synthetic CTC model (no file given)".into(),
+            )
+        }
+    };
+
+    let parsed = swf::parse_swf(&text).expect("valid SWF");
+    println!("source: {source}");
+    println!(
+        "parsed {} usable jobs ({} skipped), machine size {}",
+        parsed.jobs.len(),
+        parsed.skipped.len(),
+        parsed.machine_size()
+    );
+    println!();
+    println!("{}", TraceStats::compute(&parsed.jobs));
+    println!();
+
+    // Clamp oversized requests (archive traces sometimes contain jobs
+    // wider than MaxProcs) and replay a manageable prefix.
+    let machine = parsed.machine_size();
+    let jobs = dynp_rs::trace::filter::prefix(
+        &dynp_rs::trace::filter::clamp_widths(&parsed.jobs, machine),
+        2_000,
+    );
+    println!("replaying the first {} jobs ...", jobs.len());
+
+    for (label, run) in [
+        (
+            "FCFS",
+            simulate(&jobs, FixedPolicy(Policy::Fcfs), SimConfig::new(machine)),
+        ),
+        (
+            "SJF ",
+            simulate(&jobs, FixedPolicy(Policy::Sjf), SimConfig::new(machine)),
+        ),
+    ] {
+        println!(
+            "  {label}  SLDwA {:>7.2}  avg wait {:>8.0} s  util {:>5.1}%",
+            run.summary.sldwa,
+            run.summary.avg_wait,
+            run.summary.utilization * 100.0
+        );
+    }
+    let dynp = simulate(
+        &jobs,
+        SelfTuning::paper_config(Metric::SldwA),
+        SimConfig::new(machine),
+    );
+    println!(
+        "  dynP  SLDwA {:>7.2}  avg wait {:>8.0} s  util {:>5.1}%  ({} switches)",
+        dynp.summary.sldwa,
+        dynp.summary.avg_wait,
+        dynp.summary.utilization * 100.0,
+        dynp.selector.stats().switches()
+    );
+}

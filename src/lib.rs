@@ -1,0 +1,51 @@
+//! `dynp-rs` — a reproduction of *"On the Comparison of CPLEX-Computed Job
+//! Schedules with the Self-Tuning dynP Job Scheduler"* (Grothklags &
+//! Streit, IPPS/IPDPS 2004 workshops).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`trace`] — job model, SWF traces, the synthetic CTC workload,
+//! * [`platform`] — machine, availability profile, machine history,
+//! * [`sched`] — planning-based schedules, FCFS/SJF/LJF, metrics,
+//! * [`des`] — the discrete-event simulation kernel,
+//! * [`dynp`] — the self-tuning dynP scheduler (deciders, tuner),
+//! * [`sim`] — the RMS simulator replaying traces,
+//! * [`milp`] — the exact time-indexed ILP solver (the CPLEX substitute).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynp_rs::prelude::*;
+//!
+//! // A small CTC-like workload on a 64-node machine.
+//! let model = CtcModel { nodes: 64, ..CtcModel::default() };
+//! let trace = model.generate(50, 42);
+//!
+//! // Replay it under the self-tuning dynP scheduler.
+//! let run = simulate(
+//!     &trace.jobs,
+//!     SelfTuning::paper_config(Metric::SldwA),
+//!     SimConfig::new(trace.machine_size),
+//! );
+//! assert_eq!(run.records.len(), 50);
+//! println!("{}", run.summary);
+//! ```
+
+pub use dynp_core as dynp;
+pub use dynp_des as des;
+pub use dynp_milp as milp;
+pub use dynp_platform as platform;
+pub use dynp_sched as sched;
+pub use dynp_sim as sim;
+pub use dynp_trace as trace;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use dynp_core::{Decider, FixedPolicy, PolicySelector, SelfTuning};
+    pub use dynp_milp::{solve_snapshot, BranchLimits, SolveConfig, TimeScaling};
+    pub use dynp_platform::{Machine, MachineHistory, ResourceProfile};
+    pub use dynp_sched::{plan, Metric, Policy, Reservation, Schedule, SchedulingProblem};
+    pub use dynp_sim::{simulate, simulate_queue, QueueDiscipline, SimConfig, SnapshotFilter};
+    pub use dynp_trace::{CtcModel, Job, JobId, SwfTrace, TraceStats, WorkloadModel};
+}
