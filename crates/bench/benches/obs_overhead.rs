@@ -1,0 +1,115 @@
+//! Overhead of the `dynp-obs` instrumentation primitives.
+//!
+//! Two regimes matter:
+//!
+//! 1. **No recorder installed** — the state every library user is in unless
+//!    they opt into observability. Instrumented code paths must cost
+//!    essentially nothing: `recorder()` is a single atomic load returning
+//!    `None`, and a `Span` with no recorder holds no timer.
+//! 2. **Null-sink recorder installed** — metrics are recorded into atomics
+//!    but events go nowhere. This bounds the cost paid inside the solver's
+//!    per-node hot loop when observability is on.
+//!
+//! The disabled group MUST run before `install` (the recorder is process
+//! global and cannot be uninstalled); `criterion_main!` runs groups in
+//! declaration order, which preserves that.
+//!
+//! Usage: `cargo bench -p dynp-bench --bench obs_overhead`
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dynp_obs::{recorder, install, Recorder, Sink, Span};
+
+/// A stand-in for one DES dispatch step: enough arithmetic that the loop
+/// body is not optimised away, cheap enough that instrumentation overhead
+/// would be visible.
+fn simulated_dispatch(state: &mut u64) {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    assert!(
+        recorder().is_none(),
+        "disabled-path benches must run before any recorder is installed"
+    );
+    let mut group = c.benchmark_group("obs_disabled");
+    group.sample_size(200);
+
+    group.bench_function("recorder_fetch", |b| {
+        b.iter(|| black_box(recorder().is_none()))
+    });
+
+    group.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let _span = Span::enter(black_box("bench.span"));
+        })
+    });
+
+    // The shape used in des::run_to_completion: fetch handles once, then
+    // run the hot loop consulting the (absent) handles each iteration.
+    group.bench_function("dispatch_loop_instrumented", |b| {
+        b.iter(|| {
+            let obs = recorder();
+            let counter = obs.map(|r| r.counter("bench.events"));
+            let mut state = 0u64;
+            for _ in 0..1024 {
+                simulated_dispatch(&mut state);
+                if let Some(c) = &counter {
+                    c.inc();
+                }
+            }
+            black_box(state)
+        })
+    });
+
+    group.bench_function("dispatch_loop_bare", |b| {
+        b.iter(|| {
+            let mut state = 0u64;
+            for _ in 0..1024 {
+                simulated_dispatch(&mut state);
+            }
+            black_box(state)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_null_recorder(c: &mut Criterion) {
+    let r = install(Recorder::new(Sink::Null));
+    let counter = r.counter("bench.counter");
+    let histogram = r.histogram("bench.histogram");
+
+    let mut group = c.benchmark_group("obs_null_recorder");
+    group.sample_size(200);
+
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    group.bench_function("histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(997);
+            histogram.record(black_box(v));
+        })
+    });
+
+    group.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let _span = Span::enter(black_box("bench.span"));
+        })
+    });
+
+    group.bench_function("event_emit_null_sink", |b| {
+        b.iter(|| {
+            r.event("bench.event")
+                .kv("case", black_box(7u64))
+                .kv("label", "null")
+                .emit()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(disabled, bench_disabled);
+criterion_group!(null_recorder, bench_null_recorder);
+criterion_main!(disabled, null_recorder);

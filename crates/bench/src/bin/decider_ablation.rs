@@ -4,12 +4,13 @@
 //! cases (flipping back to FCFS/SJF although staying is correct); the
 //! advanced decider fixes them. This experiment quantifies the effect on a
 //! CTC-like trace: switch counts, per-policy residency, and the resulting
-//! actual-time metrics.
+//! actual-time metrics. Writes `results/decider_ablation.{txt,json,events.jsonl}`.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin decider_ablation [n_jobs] [seeds...]`
 
-use dynp_bench::{ctc_trace, selector_run};
+use dynp_bench::{ctc_trace, selector_run, Report};
 use dynp_core::{Decider, SelfTuning};
+use dynp_obs::JsonValue;
 use dynp_sched::{Metric, Policy};
 
 fn main() {
@@ -24,6 +25,14 @@ fn main() {
         }
     };
 
+    let mut report = Report::new("decider_ablation");
+    report.set(
+        "params",
+        JsonValue::object()
+            .with("n_jobs", n_jobs)
+            .with("seeds", seeds.clone()),
+    );
+
     let deciders = [
         ("simple", Decider::Simple),
         ("advanced", Decider::Advanced),
@@ -31,12 +40,16 @@ fn main() {
         ("sticky(20%)", Decider::Sticky { margin: 0.20 }),
     ];
 
-    println!("\nDecider ablation on CTC-like traces ({n_jobs} jobs per seed)");
-    println!(
+    report.blank();
+    report.line(format!(
+        "Decider ablation on CTC-like traces ({n_jobs} jobs per seed)"
+    ));
+    report.line(format!(
         "{:<12} {:>6} {:>9} {:>11} {:>8} {:>8} {:>22}",
         "decider", "seed", "switches", "switch rate", "SLDwA", "ARTwW", "residency F/S/L [%]"
-    );
+    ));
 
+    let mut rows_json = JsonValue::array();
     for &seed in &seeds {
         let trace = ctc_trace(n_jobs, seed);
         for (label, decider) in deciders {
@@ -47,7 +60,7 @@ fn main() {
             let pct = |p: Policy| {
                 100.0 * stats.residency().get(&p).copied().unwrap_or(0) as f64 / total_res as f64
             };
-            println!(
+            report.line(format!(
                 "{:<12} {:>6} {:>9} {:>10.1}% {:>8.2} {:>7.0}s {:>7.0}/{:.0}/{:.0}",
                 label,
                 seed,
@@ -58,13 +71,31 @@ fn main() {
                 pct(Policy::Fcfs),
                 pct(Policy::Sjf),
                 pct(Policy::Ljf),
+            ));
+            rows_json.push(
+                JsonValue::object()
+                    .with("decider", label)
+                    .with("seed", seed)
+                    .with("switches", stats.switches())
+                    .with("switch_rate", stats.switch_rate())
+                    .with("sldwa", run.summary.sldwa)
+                    .with("artww", run.summary.artww)
+                    .with(
+                        "residency_percent",
+                        JsonValue::object()
+                            .with("fcfs", pct(Policy::Fcfs))
+                            .with("sjf", pct(Policy::Sjf))
+                            .with("ljf", pct(Policy::Ljf)),
+                    ),
             );
         }
-        println!();
+        report.blank();
     }
-    println!(
+    report.set("rows", rows_json);
+    report.line(
         "expectation ([14] / paper §2): the advanced decider switches less than the\n\
          simple one (it never flips back on ties) without hurting the metrics;\n\
-         larger sticky margins damp switching further."
+         larger sticky margins damp switching further.",
     );
+    report.finish().expect("writing results/");
 }

@@ -1,14 +1,18 @@
 //! Reproduces **Figure 1** of the paper: an example machine history — the
 //! monotone list of `(time stamp, free resources)` tuples induced by the
 //! running jobs' estimated ends — rendered as the tuple list and an ASCII
-//! step plot.
+//! step plot. Writes `results/figure1.{txt,json,events.jsonl}`.
 //!
 //! Usage: `cargo run -p dynp-bench --bin figure1`
 
+use dynp_bench::Report;
+use dynp_obs::JsonValue;
 use dynp_platform::{Machine, MachineHistory};
 use dynp_trace::Job;
 
 fn main() {
+    let mut report = Report::new("figure1");
+
     // A machine of 16 resources observed at t = 100 s with four running
     // jobs, mirroring the shape of the paper's illustration.
     let mut machine = Machine::new(16);
@@ -19,23 +23,33 @@ fn main() {
     let history: MachineHistory = machine.history(100);
     history.check_invariants().expect("valid history");
 
-    println!(
+    report.line(format!(
         "Figure 1 — example machine history (capacity {})",
         history.capacity()
-    );
-    println!();
-    println!("  time [s]   free resources");
+    ));
+    report.blank();
+    report.line("  time [s]   free resources");
+    let mut points = JsonValue::array();
     for p in history.points() {
-        println!("  {:>8}   {:>3}", p.time, p.free);
+        report.line(format!("  {:>8}   {:>3}", p.time, p.free));
+        points.push(
+            JsonValue::object()
+                .with("time", p.time)
+                .with("free", p.free),
+        );
     }
-    println!();
+    report.set("capacity", history.capacity());
+    report.set("now", history.now());
+    report.set("drained_at", history.drained_at());
+    report.set("points", points);
+    report.blank();
 
     // ASCII step plot: one column per time bucket, height = free count.
     let t0 = history.now();
     let t1 = history.drained_at() + 50;
     let width = 64usize;
     let cap = history.capacity();
-    println!("  free");
+    report.line("  free");
     for level in (1..=cap).rev() {
         let mut line = String::with_capacity(width + 8);
         line.push_str(&format!("  {level:>4} |"));
@@ -47,13 +61,14 @@ fn main() {
                 ' '
             });
         }
-        println!("{line}");
+        report.line(line);
     }
-    println!("       +{}", "-".repeat(width));
-    println!("        t={t0} .. t={t1} (seconds)");
-    println!();
-    println!(
+    report.line(format!("       +{}", "-".repeat(width)));
+    report.line(format!("        t={t0} .. t={t1} (seconds)"));
+    report.blank();
+    report.line(
         "Free resources increase monotonically: only running jobs are considered,\n\
-         and simultaneous estimated ends share a single time stamp (paper §3.1)."
+         and simultaneous estimated ends share a single time stamp (paper §3.1).",
     );
+    report.finish().expect("writing results/");
 }

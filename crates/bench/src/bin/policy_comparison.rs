@@ -4,35 +4,59 @@
 //!
 //! Prints actual-time metrics per scheduler: average response time, ARTwW,
 //! average wait, SLDwA, utilization, plus dynP's switching behaviour.
+//! Writes `results/policy_comparison.{txt,json,events.jsonl}`.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin policy_comparison [n_jobs] [seed]`
 
-use dynp_bench::{ctc_trace, fixed_run, selector_run};
+use dynp_bench::{ctc_trace, fixed_run, selector_run, Report};
 use dynp_core::{Decider, SelfTuning};
+use dynp_obs::JsonValue;
 use dynp_sched::{Metric, Policy};
 use dynp_sim::{simulate_queue, QueueDiscipline, SimSummary};
+
+fn summary_json(label: &str, s: &SimSummary) -> JsonValue {
+    JsonValue::object()
+        .with("label", label)
+        .with("avg_response", s.avg_response)
+        .with("artww", s.artww)
+        .with("avg_wait", s.avg_wait)
+        .with("sldwa", s.sldwa)
+        .with("utilization", s.utilization)
+}
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
 
+    let mut report = Report::new("policy_comparison");
+
     eprintln!("generating CTC-like trace: {n_jobs} jobs, seed {seed} ...");
     let trace = ctc_trace(n_jobs, seed);
-
-    println!(
-        "\nPolicy comparison on a CTC-like trace ({} jobs, {} nodes)",
-        n_jobs, trace.machine_size
+    report.set(
+        "params",
+        JsonValue::object()
+            .with("n_jobs", n_jobs)
+            .with("seed", seed)
+            .with("machine_size", trace.machine_size),
     );
-    println!(
+
+    let mut schedulers = JsonValue::array();
+
+    report.blank();
+    report.line(format!(
+        "Policy comparison on a CTC-like trace ({} jobs, {} nodes)",
+        n_jobs, trace.machine_size
+    ));
+    report.line(format!(
         "{:<16} {:>10} {:>10} {:>10} {:>8} {:>7} {:>9}",
         "scheduler", "avg resp", "ARTwW", "avg wait", "SLDwA", "util", "switches"
-    );
+    ));
 
     for policy in Policy::PAPER_SET {
         let run = fixed_run(&trace.jobs, trace.machine_size, policy);
         let s = &run.summary;
-        println!(
+        report.line(format!(
             "{:<16} {:>9.0}s {:>9.0}s {:>9.0}s {:>8.2} {:>6.1}% {:>9}",
             run.label,
             s.avg_response,
@@ -41,7 +65,8 @@ fn main() {
             s.sldwa,
             s.utilization * 100.0,
             "-"
-        );
+        ));
+        schedulers.push(summary_json(&run.label, s).with("kind", "fixed"));
     }
 
     // Queue-based architectures for contrast (paper §1/[4]: queuing vs
@@ -54,7 +79,7 @@ fn main() {
         let (records, backfills) =
             simulate_queue(&trace.jobs, trace.machine_size, Policy::Fcfs, discipline);
         let s = SimSummary::compute(&records, trace.machine_size);
-        println!(
+        report.line(format!(
             "{:<16} {:>9.0}s {:>9.0}s {:>9.0}s {:>8.2} {:>6.1}% {:>9}",
             label,
             s.avg_response,
@@ -63,6 +88,11 @@ fn main() {
             s.sldwa,
             s.utilization * 100.0,
             format!("bf:{backfills}")
+        ));
+        schedulers.push(
+            summary_json(label, &s)
+                .with("kind", "queue")
+                .with("backfills", backfills),
         );
     }
 
@@ -73,7 +103,8 @@ fn main() {
         let tuner = SelfTuning::new(Policy::PAPER_SET.to_vec(), Metric::SldwA, decider);
         let run = selector_run(&trace.jobs, trace.machine_size, tuner);
         let s = &run.summary;
-        println!(
+        let switches = run.selector.stats().switches();
+        report.line(format!(
             "{:<16} {:>9.0}s {:>9.0}s {:>9.0}s {:>8.2} {:>6.1}% {:>9}",
             label,
             s.avg_response,
@@ -81,13 +112,21 @@ fn main() {
             s.avg_wait,
             s.sldwa,
             s.utilization * 100.0,
-            run.selector.stats().switches()
+            switches
+        ));
+        schedulers.push(
+            summary_json(label, s)
+                .with("kind", "dynp")
+                .with("switches", switches),
         );
     }
+    report.set("schedulers", schedulers);
 
-    println!(
-        "\nexpectation (paper §1-§2): no single fixed policy dominates; dynP tracks\n\
+    report.blank();
+    report.line(
+        "expectation (paper §1-§2): no single fixed policy dominates; dynP tracks\n\
          the best policy as job characteristics change, so its response-time and\n\
-         slowdown metrics should be at or better than the best fixed policy."
+         slowdown metrics should be at or better than the best fixed policy.",
     );
+    report.finish().expect("writing results/");
 }

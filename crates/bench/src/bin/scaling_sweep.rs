@@ -7,11 +7,13 @@
 //! quantifies the paper's observation that coarse scaling can make the
 //! "optimal" schedule *worse* than a policy schedule (negative loss rows
 //! in Table 1) and that compaction recovers most of the grid slack.
+//! Writes `results/scaling_sweep.{txt,json,events.jsonl}`.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin scaling_sweep [n_jobs] [seed]`
 
-use dynp_bench::{dynp_run_with_snapshots, small_trace, solve_snapshots, spread_sample};
+use dynp_bench::{dynp_run_with_snapshots, small_trace, solve_snapshots, spread_sample, Report};
 use dynp_milp::{BranchLimits, SolveConfig};
+use dynp_obs::JsonValue;
 use dynp_sim::SnapshotFilter;
 use std::time::Duration;
 
@@ -19,6 +21,8 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
+
+    let mut report = Report::new("scaling_sweep");
 
     eprintln!("generating trace and collecting snapshots ...");
     let trace = small_trace(n_jobs, seed, 64);
@@ -33,15 +37,25 @@ fn main() {
     );
     let sample = spread_sample(&run.snapshots, 6);
     eprintln!("{} snapshots sampled", sample.len());
-
-    println!(
-        "\nTime-scaling sweep (metric: SLDwA, {} snapshots averaged)",
-        sample.len()
+    report.set(
+        "params",
+        JsonValue::object()
+            .with("n_jobs", n_jobs)
+            .with("seed", seed)
+            .with("machine_size", trace.machine_size)
+            .with("snapshots", sample.len()),
     );
-    println!(
+
+    report.blank();
+    report.line(format!(
+        "Time-scaling sweep (metric: SLDwA, {} snapshots averaged)",
+        sample.len()
+    ));
+    report.line(format!(
         "{:>7} {:>10} {:>9} {:>9} {:>11} {:>11}",
         "scale", "compacted", "avg vars", "avg loss", "avg nodes", "avg time"
-    );
+    ));
+    let mut rows_json = JsonValue::array();
     for scale_minutes in [1u64, 2, 5, 10, 30] {
         for compacted in [true, false] {
             let config = SolveConfig {
@@ -67,7 +81,7 @@ fn main() {
             let avg_nodes = runs.iter().map(|r| r.nodes as f64).sum::<f64>() / runs.len() as f64;
             let avg_time =
                 runs.iter().map(|r| r.solve_time.as_secs_f64()).sum::<f64>() / runs.len() as f64;
-            println!(
+            report.line(format!(
                 "{:>5}min {:>10} {:>9.0} {:>+8.2}% {:>11.0} {:>10.3}s",
                 scale_minutes,
                 if compacted { "yes" } else { "no" },
@@ -75,11 +89,24 @@ fn main() {
                 avg_loss,
                 avg_nodes,
                 avg_time
+            ));
+            rows_json.push(
+                JsonValue::object()
+                    .with("scale_minutes", scale_minutes)
+                    .with("compacted", compacted)
+                    .with("avg_vars", avg_vars)
+                    .with("avg_loss_percent", avg_loss)
+                    .with("avg_nodes", avg_nodes)
+                    .with("avg_solve_seconds", avg_time)
+                    .with("solved", solved.len()),
             );
         }
     }
-    println!(
-        "\nexpectations: finer scales -> larger models, longer solves, higher quality\n\
-         (more positive loss); compaction always helps, most at coarse scales."
+    report.set("rows", rows_json);
+    report.blank();
+    report.line(
+        "expectations: finer scales -> larger models, longer solves, higher quality\n\
+         (more positive loss); compaction always helps, most at coarse scales.",
     );
+    report.finish().expect("writing results/");
 }

@@ -6,7 +6,9 @@
 //! Per row: snapshot size (jobs, max makespan, accumulated runtime), the
 //! Eq. 6 time scale, the model size, the Eq. 7 quality and performance
 //! loss of the best policy vs the exact schedule, and the solve effort.
-//! The final row is the averages row, as in the paper.
+//! The final row is the averages row, as in the paper. Writes
+//! `results/table1.{txt,json,events.jsonl}`; the JSON carries the full
+//! per-row data including each solve's incumbent/gap trajectory.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin table1 [n_jobs] [seed]`
 //!
@@ -17,10 +19,11 @@
 //!   and unpredictable between similar-sized instances.
 
 use dynp_bench::{
-    ctc_trace, dynp_run_with_snapshots, solve_snapshots, spread_sample, Table1Averages,
-    TABLE1_HEADER,
+    ctc_trace, dynp_run_with_snapshots, exact_run_json, solve_snapshots, spread_sample, Report,
+    Table1Averages, TABLE1_HEADER,
 };
 use dynp_milp::{BranchLimits, SolveConfig};
+use dynp_obs::JsonValue;
 use dynp_sim::SnapshotFilter;
 use std::time::Duration;
 
@@ -29,6 +32,8 @@ fn main() {
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1200);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
     let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
+
+    let mut report = Report::new("table1");
 
     eprintln!("generating CTC-like trace: {n_jobs} jobs, seed {seed} ...");
     let trace = ctc_trace(n_jobs, seed);
@@ -51,6 +56,16 @@ fn main() {
         run.snapshots.len(),
         run.selector.stats().switches()
     );
+    report.set(
+        "params",
+        JsonValue::object()
+            .with("n_jobs", n_jobs)
+            .with("seed", seed)
+            .with("rows", rows)
+            .with("machine_size", trace.machine_size)
+            .with("snapshots_collected", run.snapshots.len())
+            .with("policy_switches", run.selector.stats().switches()),
+    );
 
     let sample = spread_sample(&run.snapshots, rows);
     eprintln!("solving {} snapshots exactly (parallel) ...", sample.len());
@@ -70,26 +85,34 @@ fn main() {
     };
     let solved = solve_snapshots(&sample, &config);
 
-    println!();
-    println!("Table 1 — exact problem sizes, quality, and compute time");
-    println!("(metric: SLDwA; baseline: best of FCFS/SJF/LJF at each snapshot)");
-    println!("{TABLE1_HEADER}  status");
+    report.blank();
+    report.line("Table 1 — exact problem sizes, quality, and compute time");
+    report.line("(metric: SLDwA; baseline: best of FCFS/SJF/LJF at each snapshot)");
+    report.line(format!("{TABLE1_HEADER}  status"));
+    let mut rows_json = JsonValue::array();
     for r in &solved {
-        println!("{}  {:?}", r.table_row(), r.status);
+        report.line(format!("{}  {:?}", r.table_row(), r.status));
+        rows_json.push(exact_run_json(r));
     }
+    report.set("rows", rows_json);
     let avg = Table1Averages::compute(&solved);
-    println!("\naverages over {} runs ({} solved):", avg.runs, avg.solved);
-    println!(
+    report.set("averages", avg.to_json());
+    report.blank();
+    report.line(format!(
+        "averages over {} runs ({} solved):",
+        avg.runs, avg.solved
+    ));
+    report.line(format!(
         "  jobs {:.1}   makespan {:.0} s   acc.runtime {:.0} s   scale {:.1} min",
         avg.avg_jobs,
         avg.avg_makespan,
         avg.avg_acc_runtime,
         avg.avg_time_scale / 60.0
-    );
-    println!(
+    ));
+    report.line(format!(
         "  quality {:.3}   perf. loss {:+.2}%   solve time {:.2} s",
         avg.avg_quality, avg.avg_loss_percent, avg.avg_solve_seconds
-    );
+    ));
     // The paper's §3 "power" comparison: quality per compute second.
     let powers: Vec<(f64, f64)> = solved
         .iter()
@@ -98,13 +121,23 @@ fn main() {
     if !powers.is_empty() {
         let avg_policy: f64 = powers.iter().map(|p| p.0).sum::<f64>() / powers.len() as f64;
         let avg_exact: f64 = powers.iter().map(|p| p.1).sum::<f64>() / powers.len() as f64;
-        println!(
-            "\nscheduler power (quality per compute second, paper §3):\n  \
+        report.blank();
+        report.line(format!(
+            "scheduler power (quality per compute second, paper §3):\n  \
              policies {avg_policy:.0} /s   exact solver {avg_exact:.3} /s   ratio {:.0}x",
             avg_policy / avg_exact.max(1e-12)
+        ));
+        report.set(
+            "power",
+            JsonValue::object()
+                .with("avg_policy_per_sec", avg_policy)
+                .with("avg_exact_per_sec", avg_exact)
+                .with("ratio", avg_policy / avg_exact.max(1e-12)),
         );
     }
-    println!(
-        "\npaper reference: avg ~22 jobs, ~2-day makespan, 5-min scale, 0.7% loss, hours of CPLEX time"
+    report.blank();
+    report.line(
+        "paper reference: avg ~22 jobs, ~2-day makespan, 5-min scale, 0.7% loss, hours of CPLEX time",
     );
+    report.finish().expect("writing results/");
 }

@@ -131,22 +131,48 @@ pub trait Model {
 /// Drives `model` until the event queue is empty, returning the final
 /// simulation time. This is the whole main loop of a discrete-event
 /// simulation; models stay free of queue mechanics.
+///
+/// When a global [`dynp_obs`] recorder is installed, the loop counts
+/// dispatched events (`des.events`) and tracks the pending-queue
+/// high-water mark (`des.queue_depth`); handles are fetched once, so the
+/// per-event cost is at most two atomic updates.
 pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>) -> u64 {
+    let obs = dynp_obs::recorder();
+    let m_events = obs.map(|r| r.counter("des.events"));
+    let m_depth = obs.map(|r| r.gauge("des.queue_depth"));
     while let Some((now, event)) = queue.pop() {
+        if let Some(m) = &m_events {
+            m.inc();
+        }
         model.handle(now, event, queue);
+        if let Some(m) = &m_depth {
+            m.set(queue.len() as i64);
+        }
     }
     queue.now()
 }
 
 /// Drives `model` until the queue is empty or the clock passes `deadline`;
 /// events scheduled after the deadline remain in the queue.
+///
+/// Instrumented like [`run_to_completion`], against the same
+/// `des.events` / `des.queue_depth` metrics.
 pub fn run_until<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, deadline: u64) -> u64 {
+    let obs = dynp_obs::recorder();
+    let m_events = obs.map(|r| r.counter("des.events"));
+    let m_depth = obs.map(|r| r.gauge("des.queue_depth"));
     while let Some(t) = queue.peek_time() {
         if t > deadline {
             break;
         }
         let (now, event) = queue.pop().expect("peeked event exists");
+        if let Some(m) = &m_events {
+            m.inc();
+        }
         model.handle(now, event, queue);
+        if let Some(m) = &m_depth {
+            m.set(queue.len() as i64);
+        }
     }
     queue.now()
 }

@@ -21,7 +21,7 @@
 use dynp_sched::{Metric, Policy};
 
 /// A policy-switch decision mechanism.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Decider {
     /// Paper's simple decider: argmin in enumeration order, incumbent
     /// ignored.

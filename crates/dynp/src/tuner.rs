@@ -89,6 +89,10 @@ impl SelfTuning {
     /// the active policy, mirroring a real RMS where there is nothing to
     /// re-order.
     pub fn step(&mut self, problem: &SchedulingProblem) -> TuningOutcome {
+        // Per-decision latency: the whole plan-evaluate-decide cycle runs
+        // on every submission/completion, so this histogram is the
+        // scheduler-overhead side of the paper's comparison.
+        let _step_span = dynp_obs::Span::enter("dynp.step");
         let previous = self.active;
         if problem.is_empty() {
             return TuningOutcome {
@@ -116,6 +120,23 @@ impl SelfTuning {
         let switched = chosen != previous;
         self.active = chosen;
         self.stats.record(problem.now, previous, chosen);
+        if let Some(r) = dynp_obs::recorder() {
+            // One event per decision, carrying every policy's metric
+            // estimate (the paper's three SLD values under FCFS/SJF/LJF).
+            let mut estimates = dynp_obs::JsonValue::object();
+            for (policy, value) in &evaluations {
+                estimates.set(&format!("{policy:?}"), *value);
+            }
+            r.event("dynp.decision")
+                .kv("sim_time", problem.now)
+                .kv("jobs", problem.len())
+                .kv("metric", format!("{:?}", self.metric))
+                .kv("estimates", estimates)
+                .kv("previous", format!("{previous:?}"))
+                .kv("chosen", format!("{chosen:?}"))
+                .kv("switched", switched)
+                .emit();
+        }
         TuningOutcome {
             previous,
             chosen,

@@ -23,6 +23,7 @@
 
 use crate::model::Milp;
 use crate::simplex::{solve_lp_with_start, LpOutcome, LpSolution, SimplexStart};
+use dynp_obs::Span;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
@@ -70,6 +71,33 @@ pub enum MipStatus {
     Unknown,
 }
 
+/// One point of the incumbent/gap trajectory: the solver's view of the
+/// primal/dual state at the moment a new incumbent was accepted (plus a
+/// seed point at `nodes == 0` when one was installed, and a final point
+/// at exit).
+#[derive(Clone, Copy, Debug)]
+pub struct GapPoint {
+    /// Nodes explored when the point was recorded.
+    pub nodes: usize,
+    /// Wall time into the solve.
+    pub elapsed: Duration,
+    /// Incumbent objective at that moment.
+    pub incumbent: f64,
+    /// Best proven lower bound at that moment (`-inf` before the first
+    /// node is bounded).
+    pub bound: f64,
+}
+
+impl GapPoint {
+    /// Relative gap at this point, in the same normalization as
+    /// [`MipSolution::gap`]; `None` while the bound is still infinite.
+    pub fn gap(&self) -> Option<f64> {
+        self.bound
+            .is_finite()
+            .then(|| (self.incumbent - self.bound).max(0.0) / self.incumbent.abs().max(1.0))
+    }
+}
+
 /// Result of a solve.
 #[derive(Clone, Debug)]
 pub struct MipSolution {
@@ -87,6 +115,10 @@ pub struct MipSolution {
     pub lp_iterations: usize,
     /// Wall time spent.
     pub wall_time: Duration,
+    /// Incumbent/gap trajectory: one [`GapPoint`] per accepted incumbent
+    /// (seed included) plus a closing point at exit. Empty when no
+    /// incumbent was ever found.
+    pub trajectory: Vec<GapPoint>,
 }
 
 impl MipSolution {
@@ -128,6 +160,7 @@ pub struct BranchBound<'a> {
     crash: Option<CrashHook<'a>>,
     brancher: Option<BranchHook<'a>>,
     incumbent: Option<(f64, Vec<f64>)>,
+    trajectory: Vec<GapPoint>,
     /// Objective provably integral on integral points (enables bound
     /// ceiling).
     integral_objective: bool,
@@ -178,6 +211,7 @@ impl<'a> BranchBound<'a> {
             crash: None,
             brancher: None,
             incumbent: None,
+            trajectory: Vec::new(),
             integral_objective,
         }
     }
@@ -203,29 +237,52 @@ impl<'a> BranchBound<'a> {
 
     /// Seeds a known feasible point as the starting incumbent.
     ///
-    /// # Panics
-    /// Panics if the point is infeasible or fractional — a wrong seed would
-    /// silently destroy exactness, so it is rejected loudly.
-    pub fn with_incumbent(mut self, x: Vec<f64>) -> Self {
+    /// # Errors
+    /// Rejects an infeasible or fractional point — a wrong seed would
+    /// silently destroy exactness, so callers must handle (or at least
+    /// acknowledge) the failure instead of the solver aborting the
+    /// process.
+    pub fn with_incumbent(mut self, x: Vec<f64>) -> Result<Self, String> {
         self.model
             .check_feasible(&x, 1e-6)
-            .unwrap_or_else(|e| panic!("seed incumbent infeasible: {e}"));
-        assert!(
-            self.model.is_integral(&x, INT_TOL),
-            "seed incumbent is fractional"
-        );
+            .map_err(|e| format!("seed incumbent infeasible: {e}"))?;
+        if !self.model.is_integral(&x, INT_TOL) {
+            return Err("seed incumbent is fractional".to_string());
+        }
         let obj = self.model.objective_value(&x);
-        self.offer_incumbent(obj, x);
-        self
+        self.offer_incumbent(obj, x, 0, Duration::ZERO, f64::NEG_INFINITY);
+        Ok(self)
     }
 
-    fn offer_incumbent(&mut self, obj: f64, x: Vec<f64>) {
+    /// Accepts `x` as the new incumbent when it improves on the current
+    /// one, recording a trajectory point and emitting a `milp.incumbent`
+    /// event. `nodes`/`elapsed`/`bound` describe the search state at the
+    /// moment of the offer.
+    fn offer_incumbent(&mut self, obj: f64, x: Vec<f64>, nodes: usize, elapsed: Duration, bound: f64) {
         if self
             .incumbent
             .as_ref()
             .is_none_or(|(best, _)| obj < best - BOUND_TOL)
         {
             self.incumbent = Some((obj, x));
+            let point = GapPoint {
+                nodes,
+                elapsed,
+                incumbent: obj,
+                bound,
+            };
+            self.trajectory.push(point);
+            if let Some(r) = dynp_obs::recorder() {
+                r.event("milp.incumbent")
+                    .kv("nodes", nodes)
+                    .kv("objective", obj)
+                    .kv(
+                        "bound",
+                        bound.is_finite().then_some(bound),
+                    )
+                    .kv("gap", point.gap())
+                    .emit();
+            }
         }
     }
 
@@ -240,7 +297,14 @@ impl<'a> BranchBound<'a> {
 
     /// Runs the search to completion or a limit.
     pub fn solve(mut self) -> MipSolution {
-        let start = Instant::now();
+        let solve_start = Instant::now();
+        // Metric handles are fetched once here; the node loop below only
+        // touches atomics (or skips entirely when no recorder is
+        // installed).
+        let obs = dynp_obs::recorder();
+        let m_nodes = obs.map(|r| r.counter("milp.nodes"));
+        let m_open = obs.map(|r| r.gauge("milp.open_nodes"));
+        let m_lp_iters = obs.map(|r| r.histogram("milp.lp_iterations"));
         let mut nodes_explored = 0usize;
         let mut lp_iterations = 0usize;
         let mut next_id = 0u64;
@@ -271,12 +335,19 @@ impl<'a> BranchBound<'a> {
                 break;
             }
             if let Some(limit) = self.limits.time_limit {
-                if start.elapsed() >= limit {
+                if solve_start.elapsed() >= limit {
                     hit_limit = true;
                     break;
                 }
             }
             nodes_explored += 1;
+            let _node_span = Span::enter("milp.node");
+            if let Some(m) = &m_nodes {
+                m.inc();
+            }
+            if let Some(m) = &m_open {
+                m.set(heap.len() as i64 + 1);
+            }
             let start = self
                 .crash
                 .as_ref()
@@ -299,6 +370,9 @@ impl<'a> BranchBound<'a> {
                 }
             };
             lp_iterations += sol.iterations;
+            if let Some(m) = &m_lp_iters {
+                m.record(sol.iterations as u64);
+            }
             let bound = self.lift(sol.objective);
             if let Some((best, _)) = &self.incumbent {
                 if bound >= best - BOUND_TOL {
@@ -340,7 +414,13 @@ impl<'a> BranchBound<'a> {
                 // final status to Feasible instead of corrupting exactness.
                 if self.model.check_feasible(&rounded, 1e-5).is_ok() {
                     let obj = self.model.objective_value(&rounded);
-                    self.offer_incumbent(obj, rounded);
+                    self.offer_incumbent(
+                        obj,
+                        rounded,
+                        nodes_explored,
+                        solve_start.elapsed(),
+                        proven_bound,
+                    );
                 } else {
                     debug_assert!(false, "integral LP point failed feasibility");
                     hit_limit = true;
@@ -354,7 +434,13 @@ impl<'a> BranchBound<'a> {
                         && self.model.is_integral(&hx, INT_TOL)
                     {
                         let obj = self.model.objective_value(&hx);
-                        self.offer_incumbent(obj, hx);
+                        self.offer_incumbent(
+                            obj,
+                            hx,
+                            nodes_explored,
+                            solve_start.elapsed(),
+                            proven_bound,
+                        );
                     }
                 }
             }
@@ -446,6 +532,35 @@ impl<'a> BranchBound<'a> {
                 .unwrap_or(proven_bound)
                 .max(proven_bound),
         };
+        let wall_time = solve_start.elapsed();
+        // Close the trajectory: the exit point carries the final bound,
+        // so the last gap always matches `MipSolution::gap()`.
+        let mut trajectory = std::mem::take(&mut self.trajectory);
+        if let Some(obj) = objective {
+            trajectory.push(GapPoint {
+                nodes: nodes_explored,
+                elapsed: wall_time,
+                incumbent: obj,
+                bound: best_bound,
+            });
+        }
+        if let Some(r) = obs {
+            r.event("milp.exit")
+                .kv("status", format!("{status:?}"))
+                .kv("nodes", nodes_explored)
+                .kv("lp_iterations", lp_iterations)
+                .kv("objective", objective)
+                .kv(
+                    "bound",
+                    best_bound.is_finite().then_some(best_bound),
+                )
+                .kv(
+                    "gap",
+                    trajectory.last().and_then(GapPoint::gap),
+                )
+                .kv("wall_secs", wall_time.as_secs_f64())
+                .emit();
+        }
         MipSolution {
             status,
             objective,
@@ -453,7 +568,8 @@ impl<'a> BranchBound<'a> {
             best_bound,
             nodes: nodes_explored,
             lp_iterations,
-            wall_time: start.elapsed(),
+            wall_time,
+            trajectory,
         }
     }
 }
@@ -582,17 +698,38 @@ mod tests {
         // Feasible seed: take item 1.
         let sol = BranchBound::new(&m, BranchLimits::default())
             .with_incumbent(vec![0.0, 1.0])
+            .expect("seed is feasible")
             .solve();
         assert_eq!(sol.status, MipStatus::Optimal);
         // Optimum is item 0 (value 5) and must beat the seed (value 4).
         assert!((sol.objective.unwrap() + 5.0).abs() < 1e-6);
+        // The trajectory starts at the seed (nodes 0, unbounded) and ends
+        // at the proven optimum.
+        assert!(sol.trajectory.len() >= 2);
+        assert_eq!(sol.trajectory[0].nodes, 0);
+        assert!((sol.trajectory[0].incumbent + 4.0).abs() < 1e-6);
+        assert_eq!(sol.trajectory[0].gap(), None);
+        assert!(sol.trajectory.last().unwrap().gap().unwrap() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "infeasible")]
     fn bad_seed_is_rejected() {
         let m = knapsack(&[5.0, 4.0], &[3.0, 3.0], 3.0);
-        let _ = BranchBound::new(&m, BranchLimits::default()).with_incumbent(vec![1.0, 1.0]);
+        let Err(err) = BranchBound::new(&m, BranchLimits::default()).with_incumbent(vec![1.0, 1.0])
+        else {
+            panic!("infeasible seed accepted")
+        };
+        assert!(err.contains("infeasible"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn fractional_seed_is_rejected() {
+        let m = knapsack(&[5.0, 4.0], &[3.0, 3.0], 3.0);
+        let Err(err) = BranchBound::new(&m, BranchLimits::default()).with_incumbent(vec![0.5, 0.0])
+        else {
+            panic!("fractional seed accepted")
+        };
+        assert!(err.contains("fractional"), "unexpected error: {err}");
     }
 
     #[test]
@@ -663,5 +800,88 @@ mod tests {
         let sol = solve_mip(&m, BranchLimits::default());
         assert_eq!(sol.status, MipStatus::Optimal);
         assert!(sol.gap().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn gap_is_none_without_incumbent() {
+        // Infeasible model: no incumbent ever exists.
+        let m = Milp::binary(
+            vec![1.0, 1.0],
+            CscMatrix::from_dense(&[vec![1.0, 1.0]]),
+            vec![Sense::Ge],
+            vec![3.0],
+        );
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.gap(), None);
+        assert!(sol.trajectory.is_empty());
+        // Same for a node limit of zero on a feasible model.
+        let m = knapsack(&[5.0], &[1.0], 1.0);
+        let sol = solve_mip(
+            &m,
+            BranchLimits {
+                max_nodes: 0,
+                ..BranchLimits::default()
+            },
+        );
+        assert_eq!(sol.status, MipStatus::Unknown);
+        assert_eq!(sol.gap(), None);
+    }
+
+    #[test]
+    fn gap_is_positive_when_stopped_early() {
+        // Seed an incumbent, then stop after one node: the proof is
+        // incomplete, so the reported gap must be strictly positive.
+        let m = knapsack(
+            &[10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0],
+            &[5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0],
+            12.0,
+        );
+        // Feasible but far-from-optimal seed: only the lightest item.
+        let seed = vec![0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0];
+        let sol = BranchBound::new(
+            &m,
+            BranchLimits {
+                max_nodes: 1,
+                ..BranchLimits::default()
+            },
+        )
+        .with_incumbent(seed)
+        .unwrap()
+        .solve();
+        assert_eq!(sol.status, MipStatus::Feasible);
+        let gap = sol.gap().expect("incumbent exists");
+        assert!(gap > 0.0, "gap should be open, got {gap}");
+    }
+
+    #[test]
+    fn gap_trajectory_is_monotone_non_increasing() {
+        let m = knapsack(
+            &[10.0, 13.0, 7.0, 8.0, 2.0, 9.0, 4.0, 6.0],
+            &[5.0, 6.0, 3.0, 4.0, 1.0, 5.0, 2.0, 3.0],
+            14.0,
+        );
+        let sol = solve_mip(&m, BranchLimits::default());
+        assert_eq!(sol.status, MipStatus::Optimal);
+        assert!(!sol.trajectory.is_empty());
+        // Incumbents only ever improve and bounds only ever tighten, so
+        // wherever the gap is defined it must not increase; node counts
+        // are non-decreasing too.
+        let mut last_gap = f64::INFINITY;
+        let mut last_nodes = 0;
+        for point in &sol.trajectory {
+            assert!(point.nodes >= last_nodes);
+            last_nodes = point.nodes;
+            if let Some(gap) = point.gap() {
+                assert!(
+                    gap <= last_gap + 1e-12,
+                    "gap widened: {last_gap} -> {gap}"
+                );
+                last_gap = gap;
+            }
+        }
+        // The final point agrees with the solution-level gap.
+        assert!(
+            (sol.trajectory.last().unwrap().gap().unwrap() - sol.gap().unwrap()).abs() < 1e-12
+        );
     }
 }

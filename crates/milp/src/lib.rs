@@ -33,7 +33,7 @@ pub mod solve;
 pub mod sparse;
 pub mod timeindex;
 
-pub use branch::{solve_mip, BranchBound, BranchLimits, MipSolution, MipStatus};
+pub use branch::{solve_mip, BranchBound, BranchLimits, GapPoint, MipSolution, MipStatus};
 pub use compact::compact;
 pub use model::{Milp, Sense};
 pub use scaling::{TimeScaling, PAPER_MEMORY_BYTES, PAPER_X_BYTES};

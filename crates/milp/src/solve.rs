@@ -5,7 +5,7 @@
 //! and report the paper's Table 1 quantities (problem size, time scale,
 //! quality, performance loss, solve effort).
 
-use crate::branch::{BranchBound, BranchLimits, MipStatus};
+use crate::branch::{BranchBound, BranchLimits, GapPoint, MipStatus};
 use crate::compact::compact;
 use crate::scaling::{TimeScaling, PAPER_MEMORY_BYTES, PAPER_X_BYTES};
 use crate::timeindex::TimeIndexedModel;
@@ -76,6 +76,12 @@ pub struct ExactRun {
     pub nodes: usize,
     /// Total simplex iterations.
     pub lp_iterations: usize,
+    /// Final relative optimality gap (0 when proven optimal, `None`
+    /// without an incumbent).
+    pub gap: Option<f64>,
+    /// Incumbent/gap trajectory of the exact solve (see
+    /// [`GapPoint`]).
+    pub trajectory: Vec<GapPoint>,
     /// Wall-clock solve time.
     pub solve_time: Duration,
     /// Best basic policy under the configured metric.
@@ -198,7 +204,20 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
                 .collect()
         };
         if let Some(seed) = ti.greedy_solution(&order) {
-            bb = bb.with_incumbent(seed);
+            bb = match bb.with_incumbent(seed) {
+                Ok(seeded) => seeded,
+                Err(err) => {
+                    // A rejected seed costs the warm start, never the
+                    // sweep: continue cold rather than abort the run.
+                    if let Some(r) = dynp_obs::recorder() {
+                        r.event("milp.seed_rejected")
+                            .kv("jobs", problem.len())
+                            .kv("error", err.as_str())
+                            .emit();
+                    }
+                    BranchBound::new(&ti.model, config.limits)
+                }
+            };
         }
     }
     if config.use_heuristic {
@@ -245,6 +264,8 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
         status: mip.status,
         nodes: mip.nodes,
         lp_iterations: mip.lp_iterations,
+        gap: mip.gap(),
+        trajectory: mip.trajectory,
         solve_time: mip.wall_time,
         policy_plan_time,
         best_policy,

@@ -1,0 +1,42 @@
+//! # dynp-obs — workspace observability layer
+//!
+//! Std-only (zero external dependencies, by policy — CI asserts it)
+//! metrics, span timing, and structured event logging for the dynp-rs
+//! solver and simulator:
+//!
+//! * **Metrics** — atomic [`Counter`]s, [`Gauge`]s with high-water
+//!   marks, and fixed-bucket base-2 [`Histogram`]s with merge support.
+//! * **Spans** — RAII [`Span`] timers feeding latency histograms;
+//!   near-zero cost when no global recorder is installed.
+//! * **Events** — one-line JSONL records (`{"ts":…,"target":…,…}`)
+//!   written to a file, an in-memory buffer, or discarded; escaping is
+//!   hand-rolled in [`json`], which also ships a strict serde-free
+//!   validator used by the test suite.
+//!
+//! The [`Recorder`] owns the metric registries and the event sink.
+//! Production code uses the optional process-global recorder:
+//! [`install`] one at program start (the bench binaries do), then
+//! instrumented subsystems fetch handles via [`recorder`]. When nothing
+//! is installed, instrumentation costs one atomic load per handle fetch
+//! and nothing per loop iteration.
+//!
+//! ```
+//! use dynp_obs::{Recorder, Sink, Span};
+//!
+//! let r = Recorder::new(Sink::memory());
+//! r.counter("milp.nodes").add(128);
+//! r.gauge("des.queue_depth").set(17);
+//! {
+//!     let _timer = Span::enter_with(&r, "milp.node");
+//! }
+//! r.event("milp.incumbent").kv("objective", 42.0).emit();
+//! assert_eq!(r.events().len(), 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+mod recorder;
+
+pub use json::JsonValue;
+pub use metrics::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
+pub use recorder::{install, recorder, EventBuilder, Recorder, Sink, Span};

@@ -1,0 +1,318 @@
+//! Lock-free metric primitives: monotonic counters, last/max gauges, and
+//! fixed-bucket base-2 histograms.
+//!
+//! Everything here is `&self`-updatable over atomics so instrumented hot
+//! loops (the branch-and-bound node loop, the DES dispatch loop) can share
+//! one `Arc` handle across threads without locking. Reads are snapshots
+//! with `Relaxed` ordering — metrics are diagnostics, not synchronization.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge tracking both the last value written and the running maximum
+/// (high-water mark).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    last: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Records `v` as the current value, updating the high-water mark.
+    pub fn set(&self, v: i64) {
+        self.last.store(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Last value written.
+    pub fn get(&self) -> i64 {
+        self.last.load(Ordering::Relaxed)
+    }
+
+    /// Largest value ever written.
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in every [`Histogram`].
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size base-2 histogram of `u64` samples.
+///
+/// Bucket `0` holds the value `0`; bucket `i > 0` holds values in
+/// `[2^(i-1), 2^i)`, with the final bucket absorbing everything from
+/// `2^62` up. The unit is caller-defined (nanoseconds for latency
+/// histograms, plain counts for e.g. simplex iterations per LP solve).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] in nanoseconds (saturating).
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Folds every sample of `other` into `self`.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_lower_bound`]).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample, `u64::MAX` when empty.
+    pub min: u64,
+    /// Largest sample, `0` when empty.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Arithmetic mean of the samples, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate value at quantile `q` in `[0, 1]`, resolved to the
+    /// lower bound of the bucket containing that rank. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Clamp to observed extremes so q=0/q=1 are exact-ish.
+                return Some(bucket_lower_bound(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Serializes as a JSON object for result files.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue;
+        let mut nonzero = JsonValue::array();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                nonzero.push(
+                    JsonValue::object()
+                        .with("ge", bucket_lower_bound(i))
+                        .with("count", n),
+                );
+            }
+        }
+        JsonValue::object()
+            .with("count", self.count)
+            .with("sum", self.sum)
+            .with("min", if self.count > 0 { Some(self.min) } else { None })
+            .with("max", if self.count > 0 { Some(self.max) } else { None })
+            .with("mean", self.mean())
+            .with("p50", self.quantile(0.5))
+            .with("p99", self.quantile(0.99))
+            .with("buckets", nonzero)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_high_water() {
+        let g = Gauge::new();
+        g.set(5);
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 9);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        for i in 1..BUCKETS - 1 {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(2 * lo - 1), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1009);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.mean(), Some(201.8));
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 5);
+        crate::json::validate(&s.to_json().to_json()).unwrap();
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single() {
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), None);
+        let h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.snapshot().quantile(0.5), Some(42));
+        assert_eq!(h.snapshot().quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.record(v);
+        }
+        for v in [10u64, 0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 16);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 10);
+    }
+}

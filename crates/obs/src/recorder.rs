@@ -1,0 +1,364 @@
+//! The [`Recorder`]: named metric registries plus a structured JSONL
+//! event sink, and the process-global install point.
+//!
+//! Instrumented code is written against the *optional* global recorder:
+//!
+//! ```
+//! // Fetch handles once, outside the hot loop.
+//! let nodes = dynp_obs::recorder().map(|r| r.counter("milp.nodes"));
+//! for _ in 0..3 {
+//!     if let Some(nodes) = &nodes {
+//!         nodes.inc();
+//!     }
+//! }
+//! ```
+//!
+//! When no recorder is installed the cost is a single relaxed atomic load
+//! per handle fetch, and the hot loop pays one branch on an `Option` —
+//! observability off means effectively free.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use crate::json::JsonValue;
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// Where emitted events go.
+#[derive(Debug)]
+pub enum Sink {
+    /// Discard events (metrics still work).
+    Null,
+    /// Keep each JSONL line in memory; read back with
+    /// [`Recorder::events`].
+    Memory(Mutex<Vec<String>>),
+    /// Append each JSONL line to a file.
+    File(Mutex<std::io::BufWriter<std::fs::File>>),
+}
+
+impl Sink {
+    /// An in-memory sink.
+    pub fn memory() -> Sink {
+        Sink::Memory(Mutex::new(Vec::new()))
+    }
+
+    /// A file sink, truncating `path`.
+    pub fn file(path: impl AsRef<Path>) -> std::io::Result<Sink> {
+        let f = std::fs::File::create(path)?;
+        Ok(Sink::File(Mutex::new(std::io::BufWriter::new(f))))
+    }
+
+    fn write_line(&self, line: &str) {
+        match self {
+            Sink::Null => {}
+            Sink::Memory(buf) => buf.lock().unwrap().push(line.to_string()),
+            Sink::File(w) => {
+                let mut w = w.lock().unwrap();
+                // Diagnostics must never take the process down; a full
+                // disk just drops the event.
+                let _ = writeln!(w, "{line}");
+            }
+        }
+    }
+}
+
+/// Named metric registries plus an event sink.
+///
+/// Cheap to share: callers get `Arc` handles to individual metrics and
+/// hold them across hot loops; the registry lock is only taken on first
+/// lookup of each name.
+#[derive(Debug)]
+pub struct Recorder {
+    counters: RwLock<HashMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<HashMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<HashMap<&'static str, Arc<Histogram>>>,
+    sink: Sink,
+    epoch: Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new(Sink::Null)
+    }
+}
+
+impl Recorder {
+    /// A recorder emitting events into `sink`.
+    pub fn new(sink: Sink) -> Recorder {
+        Recorder {
+            counters: RwLock::new(HashMap::new()),
+            gauges: RwLock::new(HashMap::new()),
+            histograms: RwLock::new(HashMap::new()),
+            sink,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        lookup(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        lookup(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        lookup(&self.histograms, name)
+    }
+
+    /// Seconds elapsed since this recorder was created; the `ts` field
+    /// of every event.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Starts a structured event for `target` (e.g. `"milp.incumbent"`).
+    pub fn event(&self, target: &str) -> EventBuilder<'_> {
+        let mut line = String::with_capacity(96);
+        line.push_str("{\"ts\":");
+        crate::json::number_into(&mut line, self.elapsed_secs());
+        line.push_str(",\"target\":");
+        crate::json::escape_into(&mut line, target);
+        EventBuilder {
+            recorder: self,
+            line,
+        }
+    }
+
+    /// All event lines captured so far (memory sinks only; empty for
+    /// null and file sinks).
+    pub fn events(&self) -> Vec<String> {
+        match &self.sink {
+            Sink::Memory(buf) => buf.lock().unwrap().clone(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flushes a file sink (no-op otherwise).
+    pub fn flush(&self) {
+        if let Sink::File(w) = &self.sink {
+            let _ = w.lock().unwrap().flush();
+        }
+    }
+
+    /// Every registered metric as one JSON object, for embedding in
+    /// result files: counters and gauges as numbers, histograms as the
+    /// object produced by
+    /// [`HistogramSnapshot::to_json`](crate::metrics::HistogramSnapshot::to_json).
+    pub fn metrics_json(&self) -> JsonValue {
+        let mut counters: Vec<_> = self
+            .counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, c)| (*name, c.get()))
+            .collect();
+        counters.sort_unstable_by_key(|(name, _)| *name);
+        let mut gauges: Vec<_> = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (*name, g.get(), g.high_water()))
+            .collect();
+        gauges.sort_unstable_by_key(|(name, ..)| *name);
+        let mut histograms: Vec<_> = self
+            .histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, h)| (*name, h.snapshot()))
+            .collect();
+        histograms.sort_unstable_by_key(|(name, _)| *name);
+
+        let mut counters_json = JsonValue::object();
+        for (name, v) in counters {
+            counters_json.set(name, v);
+        }
+        let mut gauges_json = JsonValue::object();
+        for (name, last, high) in gauges {
+            gauges_json.set(
+                name,
+                JsonValue::object()
+                    .with("last", last)
+                    .with("high_water", high),
+            );
+        }
+        let mut histograms_json = JsonValue::object();
+        for (name, snap) in histograms {
+            histograms_json.set(name, snap.to_json());
+        }
+        JsonValue::object()
+            .with("counters", counters_json)
+            .with("gauges", gauges_json)
+            .with("histograms", histograms_json)
+    }
+}
+
+fn lookup<M: Default>(registry: &RwLock<HashMap<&'static str, Arc<M>>>, name: &'static str) -> Arc<M> {
+    if let Some(found) = registry.read().unwrap().get(name) {
+        return Arc::clone(found);
+    }
+    Arc::clone(registry.write().unwrap().entry(name).or_default())
+}
+
+/// Builds one JSONL event line; [`EventBuilder::emit`] writes it.
+#[derive(Debug)]
+pub struct EventBuilder<'a> {
+    recorder: &'a Recorder,
+    line: String,
+}
+
+impl EventBuilder<'_> {
+    /// Appends a `key: value` pair.
+    pub fn kv(mut self, key: &str, value: impl Into<JsonValue>) -> Self {
+        self.line.push(',');
+        crate::json::escape_into(&mut self.line, key);
+        self.line.push(':');
+        let value: JsonValue = value.into();
+        self.line.push_str(&value.to_json());
+        self
+    }
+
+    /// Finishes the line and writes it to the sink.
+    pub fn emit(mut self) {
+        self.line.push('}');
+        self.recorder.sink.write_line(&self.line);
+    }
+}
+
+/// An RAII timer: created by [`Span::enter`], records its lifetime in
+/// nanoseconds into the named histogram on drop. When no recorder is
+/// installed the span is inert and never reads the clock.
+#[derive(Debug)]
+#[must_use = "a Span measures until dropped; binding it to _ drops immediately"]
+pub struct Span {
+    state: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl Span {
+    /// Starts timing against the global recorder's histogram `name`.
+    pub fn enter(name: &'static str) -> Span {
+        match recorder() {
+            Some(r) => Span::enter_with(r, name),
+            None => Span { state: None },
+        }
+    }
+
+    /// Starts timing against `recorder`'s histogram `name`.
+    pub fn enter_with(recorder: &Recorder, name: &'static str) -> Span {
+        Span {
+            state: Some((recorder.histogram(name), Instant::now())),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((histogram, started)) = self.state.take() {
+            histogram.record_duration(started.elapsed());
+        }
+    }
+}
+
+static GLOBAL: AtomicPtr<Recorder> = AtomicPtr::new(std::ptr::null_mut());
+
+/// Installs `recorder` as the process-global recorder, returning a
+/// `'static` reference to it. Replaces any previous recorder; both are
+/// intentionally leaked so handles held by running threads stay valid.
+pub fn install(recorder: Recorder) -> &'static Recorder {
+    let leaked: &'static Recorder = Box::leak(Box::new(recorder));
+    GLOBAL.store(leaked as *const Recorder as *mut Recorder, Ordering::Release);
+    leaked
+}
+
+/// The installed global recorder, if any. One relaxed-ish atomic load —
+/// cheap enough to call at subsystem entry points (not per iteration;
+/// fetch metric handles once and reuse them).
+pub fn recorder() -> Option<&'static Recorder> {
+    let ptr = GLOBAL.load(Ordering::Acquire);
+    // SAFETY: the pointer is either null or a Box::leak'd Recorder that
+    // is never freed.
+    unsafe { ptr.as_ref() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_shared_handles() {
+        let r = Recorder::default();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn events_are_valid_jsonl() {
+        let r = Recorder::new(Sink::memory());
+        r.event("test.event")
+            .kv("policy", "SJF")
+            .kv("n", 3u64)
+            .kv("ratio", 0.5)
+            .kv("note", "quote \" and \\ back")
+            .emit();
+        let lines = r.events();
+        assert_eq!(lines.len(), 1);
+        crate::json::validate(&lines[0]).unwrap();
+        assert!(lines[0].contains("\"target\":\"test.event\""));
+        assert!(lines[0].contains("\"policy\":\"SJF\""));
+        assert!(lines[0].starts_with("{\"ts\":"));
+    }
+
+    #[test]
+    fn file_sink_appends_lines() {
+        let path = std::env::temp_dir().join("dynp_obs_sink_test.jsonl");
+        let r = Recorder::new(Sink::file(&path).unwrap());
+        r.event("a").kv("k", 1u64).emit();
+        r.event("b").emit();
+        r.flush();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<_> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            crate::json::validate(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn span_records_into_histogram() {
+        let r = Recorder::default();
+        {
+            let _span = Span::enter_with(&r, "unit.span");
+        }
+        assert_eq!(r.histogram("unit.span").snapshot().count, 1);
+    }
+
+    #[test]
+    fn inert_span_without_recorder_is_fine() {
+        let _span = Span { state: None };
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_sorted() {
+        let r = Recorder::default();
+        r.counter("b.count").add(2);
+        r.counter("a.count").inc();
+        r.gauge("q.depth").set(7);
+        r.histogram("lat").record(100);
+        let json = r.metrics_json().to_json();
+        crate::json::validate(&json).unwrap();
+        assert!(json.find("a.count").unwrap() < json.find("b.count").unwrap());
+    }
+}

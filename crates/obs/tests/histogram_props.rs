@@ -1,0 +1,96 @@
+//! Property tests for the observability primitives: histogram merge
+//! arithmetic, bucket monotonicity, and JSONL event well-formedness.
+
+use dynp_obs::{bucket_index, bucket_lower_bound, json, Histogram, Recorder, Sink, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// merge(a, b) carries exactly the union of the samples: per-bucket
+    /// counts, totals, sums, and extremes all add up.
+    #[test]
+    fn merge_counts_are_the_sum_of_parts(
+        xs in prop::collection::vec(0u64..1_000_000_000, 0..64),
+        ys in prop::collection::vec(0u64..1_000_000_000, 0..64),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &x in &xs { a.record(x); }
+        for &y in &ys { b.record(y); }
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        a.merge(&b);
+        let merged = a.snapshot();
+        prop_assert_eq!(merged.count, sa.count + sb.count);
+        prop_assert_eq!(merged.sum, sa.sum + sb.sum);
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.buckets[i], sa.buckets[i] + sb.buckets[i]);
+        }
+        prop_assert_eq!(merged.min, sa.min.min(sb.min));
+        prop_assert_eq!(merged.max, sa.max.max(sb.max));
+        // Totals remain consistent with the buckets.
+        prop_assert_eq!(merged.buckets.iter().sum::<u64>(), merged.count);
+    }
+
+    /// The bucket index is monotone in the value, and every value lands
+    /// in the bucket whose range contains it.
+    #[test]
+    fn bucket_index_is_monotone_and_consistent(a in 0u64..=u64::MAX, b in 0u64..=u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+        for v in [lo, hi] {
+            let i = bucket_index(v);
+            prop_assert!(i < BUCKETS);
+            prop_assert!(bucket_lower_bound(i) <= v);
+            if i + 1 < BUCKETS {
+                prop_assert!(v < bucket_lower_bound(i + 1));
+            }
+        }
+    }
+
+    /// Recorded samples always respect the snapshot invariants:
+    /// count/min/max/mean agree with the raw sample set. Values are kept
+    /// below u64::MAX / 128 so the running sum cannot wrap.
+    #[test]
+    fn snapshot_reflects_samples(xs in prop::collection::vec(0u64..u64::MAX / 128, 1..128)) {
+        let h = Histogram::new();
+        for &x in &xs { h.record(x); }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, xs.len() as u64);
+        prop_assert_eq!(s.min, *xs.iter().min().unwrap());
+        prop_assert_eq!(s.max, *xs.iter().max().unwrap());
+        let mean = s.mean().unwrap();
+        prop_assert!(mean >= s.min as f64 && mean <= s.max as f64);
+        let q = s.quantile(0.5).unwrap();
+        prop_assert!(q >= s.min && q <= s.max);
+    }
+
+    /// Every emitted event line is one self-contained, valid JSON object,
+    /// whatever the target, keys, and string values contain (quotes,
+    /// backslashes, control characters, non-ASCII).
+    #[test]
+    fn events_are_valid_json_per_line(
+        target_codes in prop::collection::vec(0u32..0xD7FF, 0..12),
+        key_codes in prop::collection::vec(0u32..0xD7FF, 0..8),
+        value_codes in prop::collection::vec(0u32..0xD7FF, 0..24),
+        number in -1.0e12f64..1.0e12,
+        flag_bit in 0u32..2,
+    ) {
+        let flag = flag_bit == 1;
+        let decode = |codes: &[u32]| -> String {
+            codes.iter().filter_map(|&c| char::from_u32(c)).collect()
+        };
+        let target = decode(&target_codes);
+        let key = decode(&key_codes);
+        let value = decode(&value_codes);
+        let r = Recorder::new(Sink::memory());
+        r.event(&target)
+            .kv(&key, value.as_str())
+            .kv("n", number)
+            .kv("flag", flag)
+            .emit();
+        let lines = r.events();
+        prop_assert_eq!(lines.len(), 1);
+        prop_assert!(json::validate(&lines[0]).is_ok(), "invalid: {}", &lines[0]);
+        prop_assert!(!lines[0].contains('\n'));
+    }
+}

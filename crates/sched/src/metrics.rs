@@ -16,7 +16,7 @@ use crate::schedule::Schedule;
 use crate::snapshot::SchedulingProblem;
 
 /// A schedule performance metric.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Metric {
     /// Average response time weighted by width (Eq. 2); the ILP objective.
     ArtwW,

@@ -15,7 +15,7 @@ use dynp_trace::Job;
 use std::cmp::Ordering;
 
 /// A waiting-queue ordering policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// First come first serve: by submission time.
     Fcfs,

@@ -61,6 +61,8 @@ pub struct SimRun<S> {
 /// Jobs wider than the machine are skipped (and reported), matching how
 /// trace-replay studies clean archive traces.
 pub fn simulate<S: PolicySelector>(jobs: &[Job], selector: S, config: SimConfig) -> SimRun<S> {
+    // Whole-run wall time, one histogram sample per replay.
+    let _run_span = dynp_obs::Span::enter("sim.run");
     let label = selector.label();
     let log = match config.snapshots {
         Some(filter) => SnapshotLog::with_filter(filter),
@@ -78,6 +80,14 @@ pub fn simulate<S: PolicySelector>(jobs: &[Job], selector: S, config: SimConfig)
         queue.schedule(job.submit, RmsEvent::Submit(*job));
     }
     run_to_completion(&mut rms, &mut queue);
+    if let Some(r) = dynp_obs::recorder() {
+        r.event("sim.complete")
+            .kv("selector", label.as_str())
+            .kv("jobs", jobs.len() - skipped.len())
+            .kv("skipped", skipped.len())
+            .kv("end_time", queue.now())
+            .emit();
+    }
     let machine_size = rms.machine().capacity();
     let (records, policy_log, snapshot_log, selector) = rms.into_parts();
     let summary = SimSummary::compute(&records, machine_size);

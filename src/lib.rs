@@ -11,7 +11,8 @@
 //! * [`des`] — the discrete-event simulation kernel,
 //! * [`dynp`] — the self-tuning dynP scheduler (deciders, tuner),
 //! * [`sim`] — the RMS simulator replaying traces,
-//! * [`milp`] — the exact time-indexed ILP solver (the CPLEX substitute).
+//! * [`milp`] — the exact time-indexed ILP solver (the CPLEX substitute),
+//! * [`obs`] — metrics, span timing, and the JSONL event log.
 //!
 //! # Quickstart
 //!
@@ -35,6 +36,7 @@
 pub use dynp_core as dynp;
 pub use dynp_des as des;
 pub use dynp_milp as milp;
+pub use dynp_obs as obs;
 pub use dynp_platform as platform;
 pub use dynp_sched as sched;
 pub use dynp_sim as sim;

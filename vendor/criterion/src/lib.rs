@@ -1,0 +1,251 @@
+//! Offline stand-in for the `criterion` subset this workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `sample_size`/`bench_with_input`, and
+//! `BenchmarkId`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides a minimal real harness instead: every benchmark is timed by
+//! collecting `sample_size` samples (auto-calibrated iterations per
+//! sample) and the median / mean / min per-iteration times are printed in
+//! a stable, greppable one-line format:
+//!
+//! ```text
+//! bench: <name>  median <t>  mean <t>  min <t>  (<samples> samples x <iters> iters)
+//! ```
+//!
+//! No statistics beyond that, no plots, no saved baselines — enough to
+//! compare hot paths between commits by diffing output.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall time per sample during measurement.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(25);
+/// Wall time spent estimating the iteration cost before measuring.
+const CALIBRATION_TIME: Duration = Duration::from_millis(50);
+
+/// Re-export mirroring criterion's own `black_box` re-export.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Times `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.default_sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Times `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&full, self.sample_size, f);
+    }
+
+    /// Times `f` under `group/id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl IntoBenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_one(&full, self.sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op beyond matching the upstream API).
+    pub fn finish(self) {}
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+/// Anything usable as a benchmark id (a `BenchmarkId` or a plain string).
+pub trait IntoBenchmarkId {
+    /// Converts to the canonical id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Passed to the closure; its `iter` does the actual timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate: run single iterations until the calibration budget is
+    // spent, deriving how many iterations fill one sample.
+    let calibration = Instant::now();
+    let mut one = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let mut per_iter = Duration::ZERO;
+    let mut calibration_runs = 0u32;
+    while calibration.elapsed() < CALIBRATION_TIME {
+        f(&mut one);
+        per_iter = one.elapsed.max(Duration::from_nanos(1));
+        calibration_runs += 1;
+        if per_iter > CALIBRATION_TIME {
+            break;
+        }
+    }
+    let _ = calibration_runs;
+    let iters = (TARGET_SAMPLE_TIME.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 10_000_000) as u64;
+    let mut sample_times: Vec<Duration> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        sample_times.push(b.elapsed / iters as u32);
+    }
+    sample_times.sort();
+    let median = sample_times[sample_times.len() / 2];
+    let min = sample_times[0];
+    let mean = sample_times.iter().sum::<Duration>() / sample_times.len() as u32;
+    println!(
+        "bench: {name}  median {}  mean {}  min {}  ({samples} samples x {iters} iters)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (harness = false entry point).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_with_inputs_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        for n in [1u64, 2] {
+            g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+        }
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("sjf").0, "sjf");
+    }
+}

@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of the `rand` 0.10 API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! extension trait with `random::<T>()` / `random_range(range)`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this small, dependency-free implementation instead. The
+//! generator is SplitMix64 (Steele, Lea & Flood 2014): a full-period
+//! 64-bit mixer whose output easily passes the first/second-moment checks
+//! the workload-model tests perform. It is **not** the upstream StdRng
+//! (ChaCha12) — streams differ from real `rand`, but every consumer in
+//! this workspace only requires determinism per seed, not cross-crate
+//! stream compatibility.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Core source of 64-bit randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, matching the `rand` trait of the same name.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named RNG implementations, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seedable generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Burn one output so seed 0 does not start at the weak
+            // all-zero state.
+            let mut rng = StdRng { state: seed };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Types samplable uniformly from their "natural" distribution:
+/// `[0, 1)` for floats, the full domain for integers and `bool`.
+pub trait StandardUniform: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1) with full double precision.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardUniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types uniformly samplable from a bounded range.
+pub trait UniformInt: Sized + Copy {
+    /// Widens to u64 for modular sampling.
+    fn to_u64(self) -> u64;
+    /// Narrows back after sampling.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_u64(self) -> u64 { self as u64 }
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Extension methods on any [`RngCore`], mirroring `rand::RngExt`.
+pub trait RngExt: RngCore {
+    /// A sample of `T` from its standard distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform sample from `range` (which must be non-empty).
+    fn random_range<T: UniformInt, B: RangeBounds<T>>(&mut self, range: B) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v.to_u64(),
+            Bound::Excluded(&v) => v.to_u64().checked_sub(1).expect("empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi, "random_range over an empty range");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        // Debiased modular sampling (rejection on the tail).
+        let span = span + 1;
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return T::from_u64(lo + v % span);
+            }
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v: f64 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_sampling_stays_in_bounds_and_hits_ends() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let v: u32 = rng.random_range(3..=9);
+            assert!((3..=9).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 9;
+        }
+        assert!(seen_lo && seen_hi);
+        let w: usize = rng.random_range(5..6);
+        assert_eq!(w, 5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Offline stand-in for the tiny `rayon` subset this workspace uses:
+//! `slice.par_iter().map(f).collect::<Vec<_>>()`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the same call shape over `std::thread::scope`: the input is
+//! split into one contiguous chunk per available core, each chunk is
+//! mapped on its own scoped thread, and results are gathered in input
+//! order. On a single-core host it degrades to a plain sequential map
+//! with no thread overhead.
+
+/// Parallel-iterator entry points, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+/// Borrowing parallel iteration, mirroring the rayon trait of the same
+/// name. Implemented for slices and anything that derefs to one.
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type yielded by the iterator.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator (pre-`map`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f`, preserving input order.
+    pub fn map<O, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel iterator, ready to collect.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Runs the map across threads and collects results in input order.
+    pub fn collect<O, C>(self) -> C
+    where
+        O: Send,
+        F: Fn(&'a T) -> O + Sync,
+        C: FromIterator<O>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|v| v.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut results: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (items, out) in self.items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                let f = &self.f;
+                scope.spawn(move || {
+                    for (slot, item) in out.iter_mut().zip(items) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every chunk filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(ys, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let xs: Vec<u32> = vec![];
+        let ys: Vec<u32> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+    }
+
+    #[test]
+    fn works_on_slices() {
+        let xs = [1u32, 2, 3];
+        let sum: Vec<u32> = xs[..].par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4]);
+    }
+}
