@@ -1,0 +1,44 @@
+//! Criterion coverage for the planner hot path: complete self-tuning
+//! steps at paper-scale and deep queue depths, plus the skip-scan
+//! `earliest_fit` on a profile with a long run of blocking segments —
+//! the shape the scan was redesigned for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_bench::{busy_snapshot, CTC_NODES};
+use dynp_core::SelfTuning;
+use dynp_platform::ResourceProfile;
+use dynp_sched::Metric;
+use std::hint::black_box;
+
+fn bench_step_by_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("self_tuning_step_by_depth");
+    group.sample_size(10);
+    for depth in [100usize, 1000] {
+        let problem = busy_snapshot(depth, CTC_NODES, 99);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &problem, |b, p| {
+            b.iter(|| {
+                let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+                black_box(dynp.step(p))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_earliest_fit_blocking_run(c: &mut Criterion) {
+    // 2000 back-to-back allocations of alternating width, leaving free
+    // counts that alternate between 0 and 1: the segments cannot
+    // coalesce, and every one blocks a half-machine job, so each fit
+    // call must traverse the entire run.
+    let mut profile = ResourceProfile::new(CTC_NODES);
+    for k in 0..2000u64 {
+        profile.allocate(k * 10, k * 10 + 10, CTC_NODES - (k % 2) as u32);
+    }
+    assert!(profile.steps().len() > 2000);
+    c.bench_function("earliest_fit_2000_blocking_segments", |b| {
+        b.iter(|| black_box(profile.earliest_fit(0, 600, CTC_NODES / 2)))
+    });
+}
+
+criterion_group!(benches, bench_step_by_depth, bench_earliest_fit_blocking_run);
+criterion_main!(benches);

@@ -7,31 +7,14 @@
 //! complete self-tuning step (all three policies + decide).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynp_bench::{busy_snapshot, CTC_NODES};
 use dynp_core::SelfTuning;
-use dynp_platform::MachineHistory;
 use dynp_sched::{plan, Metric, Policy, SchedulingProblem};
-use dynp_trace::{CtcModel, WorkloadModel};
 use std::hint::black_box;
 
 /// A realistic 25-job snapshot on a 430-node machine with a running set.
 fn snapshot(n_waiting: usize) -> SchedulingProblem {
-    let trace = CtcModel::default().generate(n_waiting + 10, 99);
-    let now = 1_000_000u64;
-    // 10 running jobs occupying part of the machine.
-    let running: Vec<(u32, u64)> = trace.jobs[..10]
-        .iter()
-        .enumerate()
-        .map(|(k, j)| (j.width.min(30), now + 600 + 300 * k as u64))
-        .collect();
-    let history = MachineHistory::build(430, now, &running);
-    let jobs = trace.jobs[10..]
-        .iter()
-        .map(|j| dynp_trace::Job {
-            submit: now.saturating_sub(j.submit % 3600),
-            ..*j
-        })
-        .collect();
-    SchedulingProblem::new(now, history, jobs)
+    busy_snapshot(n_waiting, CTC_NODES, 99)
 }
 
 fn bench_policies(c: &mut Criterion) {
@@ -41,7 +24,7 @@ fn bench_policies(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.name()),
             &policy,
-            |b, &p| b.iter(|| black_box(plan(&problem, p))),
+            |b, &p| b.iter(|| black_box(plan(&problem, p).unwrap())),
         );
     }
     group.finish();
@@ -52,7 +35,7 @@ fn bench_queue_lengths(c: &mut Criterion) {
     for n in [5usize, 25, 100, 400] {
         let problem = snapshot(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, p| {
-            b.iter(|| black_box(plan(p, Policy::Fcfs)))
+            b.iter(|| black_box(plan(p, Policy::Fcfs).unwrap()))
         });
     }
     group.finish();

@@ -84,17 +84,22 @@ impl Decider {
                 if !metric.better(best.1, inc_value) {
                     return incumbent;
                 }
-                // Relative improvement of the challenger over the incumbent.
-                let improvement = if metric.lower_is_better() {
-                    if inc_value == 0.0 {
-                        0.0
-                    } else {
-                        (inc_value - best.1) / inc_value
-                    }
-                } else if best.1 == 0.0 {
-                    0.0
+                // Relative improvement of the challenger over the
+                // incumbent — in both directions the denominator is the
+                // *incumbent's* value, since the margin is "how much
+                // better than what we have". (Dividing by the challenger
+                // instead would tighten the threshold as the challenger
+                // improves: a higher-is-better challenger at
+                // inc*(1+margin) would compute margin/(1+margin) < margin
+                // and never trip the switch exactly at the margin.)
+                let improvement = if inc_value == 0.0 {
+                    // A zero incumbent beaten by a strictly better
+                    // challenger is an unbounded relative improvement.
+                    f64::INFINITY
+                } else if metric.lower_is_better() {
+                    (inc_value - best.1) / inc_value
                 } else {
-                    (best.1 - inc_value) / best.1
+                    (best.1 - inc_value) / inc_value
                 };
                 if improvement > *margin {
                     best.0
@@ -201,6 +206,53 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sticky_margin_is_relative_to_incumbent_higher_is_better() {
+        // Regression: the higher-is-better branch used to divide by the
+        // *challenger* ((best - inc) / best), so a challenger 11% above
+        // the incumbent scored only 0.11/1.11 ≈ 9.9% and a 10% margin
+        // wrongly kept the incumbent.
+        let m = Metric::Utilization;
+        let d = Decider::Sticky { margin: 0.10 };
+        // Challenger 11% better than the incumbent: must switch.
+        assert_eq!(d.decide(m, &evals(1.0, 1.11, 0.5), Fcfs), Sjf);
+        // Challenger only 9% better: must stay.
+        assert_eq!(d.decide(m, &evals(1.0, 1.09, 0.5), Fcfs), Fcfs);
+        // Exactly at the margin: strict inequality keeps the incumbent
+        // (binary-exact values so the comparison is exact).
+        let exact = Decider::Sticky { margin: 0.25 };
+        assert_eq!(exact.decide(m, &evals(1.0, 1.25, 0.5), Fcfs), Fcfs);
+    }
+
+    #[test]
+    fn sticky_margin_is_symmetric_across_directions() {
+        // A 25% relative improvement must trip a 20% margin under both a
+        // lower-is-better and a higher-is-better metric.
+        let d = Decider::Sticky { margin: 0.20 };
+        assert_eq!(d.decide(M, &evals(1.0, 0.75, 2.0), Fcfs), Sjf);
+        assert_eq!(
+            d.decide(Metric::Utilization, &evals(1.0, 1.25, 0.5), Fcfs),
+            Sjf
+        );
+        // …and a 15% improvement must not, in either direction.
+        assert_eq!(d.decide(M, &evals(1.0, 0.85, 2.0), Fcfs), Fcfs);
+        assert_eq!(
+            d.decide(Metric::Utilization, &evals(1.0, 1.15, 0.5), Fcfs),
+            Fcfs
+        );
+    }
+
+    #[test]
+    fn sticky_zero_incumbent_switches_to_strictly_better_challenger() {
+        // Utilization 0 (degenerate) beaten by any positive challenger is
+        // an unbounded relative improvement.
+        let d = Decider::Sticky { margin: 0.5 };
+        assert_eq!(
+            d.decide(Metric::Utilization, &evals(0.0, 0.3, 0.1), Fcfs),
+            Sjf
+        );
     }
 
     #[test]

@@ -9,7 +9,20 @@
 
 use crate::decider::Decider;
 use crate::stats::TuningStats;
-use dynp_sched::{plan, Metric, Policy, Schedule, SchedulingProblem};
+use dynp_sched::{plan_with_profile, Metric, Policy, Schedule, SchedulingProblem};
+use rayon::prelude::*;
+
+/// Static span name for one policy's planning pass, so each policy gets
+/// its own latency histogram ([`dynp_obs::Span`] requires `&'static str`).
+fn plan_span_name(policy: Policy) -> &'static str {
+    match policy {
+        Policy::Fcfs => "planner.plan.fcfs",
+        Policy::Sjf => "planner.plan.sjf",
+        Policy::Ljf => "planner.plan.ljf",
+        Policy::Saf => "planner.plan.saf",
+        Policy::Laf => "planner.plan.laf",
+    }
+}
 
 /// Result of one self-tuning step.
 #[derive(Clone, Debug)]
@@ -103,11 +116,32 @@ impl SelfTuning {
                 schedule: Schedule::new(),
             };
         }
-        let mut evaluations = Vec::with_capacity(self.policies.len());
-        let mut schedules = Vec::with_capacity(self.policies.len());
-        for &policy in &self.policies {
-            let schedule = plan(problem, policy);
-            evaluations.push((policy, self.metric.eval(problem, &schedule)));
+        // Build the availability profile once; every policy plans against
+        // a clone of it. The per-policy passes are independent, so they
+        // run in parallel — the vendored rayon preserves input order,
+        // keeping the decider's enumeration-order tie-breaking (and hence
+        // the chosen schedule) bit-identical to the serial planner.
+        let profile = problem.availability_profile();
+        let metric = self.metric;
+        let planned: Vec<(Policy, f64, Schedule)> = self
+            .policies
+            .par_iter()
+            .map(|&policy| {
+                let _plan_span = dynp_obs::Span::enter(plan_span_name(policy));
+                let schedule = plan_with_profile(problem, policy, &profile)
+                    // An unplannable job (wider than the machine) must be
+                    // filtered before submission; inside the tuning loop
+                    // it is a configuration error, as before this was a
+                    // Result.
+                    .unwrap_or_else(|e| panic!("{e}"));
+                let value = metric.eval(problem, &schedule);
+                (policy, value, schedule)
+            })
+            .collect();
+        let mut evaluations = Vec::with_capacity(planned.len());
+        let mut schedules = Vec::with_capacity(planned.len());
+        for (policy, value, schedule) in planned {
+            evaluations.push((policy, value));
             schedules.push(schedule);
         }
         let chosen = self.decider.decide(self.metric, &evaluations, previous);
@@ -221,7 +255,7 @@ mod tests {
         let mut dynp = SelfTuning::paper_config(Metric::SldwA);
         let problem = sjf_friendly();
         let out = dynp.step(&problem);
-        let expected = plan(&problem, out.chosen);
+        let expected = dynp_sched::plan(&problem, out.chosen).unwrap();
         assert_eq!(out.schedule, expected);
         out.schedule.validate(&problem).unwrap();
     }

@@ -11,16 +11,21 @@
 //! list scheduler the policies use, which guarantees the result is a valid
 //! schedule and that no job starts later than its slot-grid start.
 
-use dynp_sched::{plan_ordered, Schedule, SchedulingProblem};
+use dynp_sched::{plan_ordered, PlanError, Schedule, SchedulingProblem};
 use dynp_trace::JobId;
 
 /// Re-plans the snapshot's jobs in `order` (the ILP's starting order) at
 /// second resolution. Jobs absent from `order` are appended in snapshot
 /// order — defensive, but normal callers pass a full permutation.
 ///
+/// Fails with [`PlanError`] if any job can never fit the machine.
+///
 /// # Panics
 /// Panics if `order` references a job not in the snapshot.
-pub fn compact(problem: &SchedulingProblem, order: &[JobId]) -> Schedule {
+pub fn compact(
+    problem: &SchedulingProblem,
+    order: &[JobId],
+) -> Result<Schedule, PlanError> {
     let mut jobs = Vec::with_capacity(problem.jobs.len());
     for id in order {
         let job = problem
@@ -60,14 +65,14 @@ mod tests {
     #[test]
     fn compaction_preserves_validity() {
         let p = snapshot();
-        let s = compact(&p, &[JobId(0), JobId(1)]);
+        let s = compact(&p, &[JobId(0), JobId(1)]).unwrap();
         s.validate(&p).unwrap();
     }
 
     #[test]
     fn compaction_starts_jobs_off_grid() {
         let p = snapshot();
-        let s = compact(&p, &[JobId(0), JobId(1)]);
+        let s = compact(&p, &[JobId(0), JobId(1)]).unwrap();
         // Both fit side by side the moment the machine frees at 90 — not
         // at the next slot boundary 120.
         assert_eq!(s.start_of(JobId(0)), Some(90));
@@ -81,7 +86,7 @@ mod tests {
         let sol = crate::branch::solve_mip(&ti.model, crate::branch::BranchLimits::default());
         let x = sol.x.unwrap();
         let slots = ti.slot_schedule(&x, &p);
-        let compacted = compact(&p, &ti.start_order(&x));
+        let compacted = compact(&p, &ti.start_order(&x)).unwrap();
         for e in slots.entries() {
             let c = compacted.start_of(e.id).unwrap();
             assert!(
@@ -105,10 +110,10 @@ mod tests {
             2,
             vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
         );
-        let a = compact(&p, &[JobId(0), JobId(1)]);
+        let a = compact(&p, &[JobId(0), JobId(1)]).unwrap();
         assert_eq!(a.start_of(JobId(0)), Some(0));
         assert_eq!(a.start_of(JobId(1)), Some(100));
-        let b = compact(&p, &[JobId(1), JobId(0)]);
+        let b = compact(&p, &[JobId(1), JobId(0)]).unwrap();
         assert_eq!(b.start_of(JobId(1)), Some(0));
         assert_eq!(b.start_of(JobId(0)), Some(100));
     }
@@ -120,7 +125,7 @@ mod tests {
             2,
             vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
         );
-        let s = compact(&p, &[JobId(1)]);
+        let s = compact(&p, &[JobId(1)]).unwrap();
         s.validate(&p).unwrap();
         assert_eq!(s.start_of(JobId(1)), Some(0));
     }
@@ -129,6 +134,6 @@ mod tests {
     #[should_panic(expected = "not in snapshot")]
     fn unknown_job_panics() {
         let p = SchedulingProblem::on_empty_machine(0, 2, vec![Job::exact(0, 0, 1, 10)]);
-        compact(&p, &[JobId(99)]);
+        let _ = compact(&p, &[JobId(99)]);
     }
 }

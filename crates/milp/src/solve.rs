@@ -153,7 +153,8 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
     let mut best: Option<(Policy, f64, Schedule)> = None;
     let mut horizon_end = problem.now;
     for &policy in &config.policies {
-        let schedule = plan(problem, policy);
+        let schedule =
+            plan(problem, policy).expect("snapshot validated: every job fits the machine");
         let value = config.metric.eval(problem, &schedule);
         if let Some(end) = schedule.makespan_end() {
             horizon_end = horizon_end.max(end);
@@ -244,6 +245,7 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
                 ti.slot_schedule(x, problem)
             } else {
                 compact(problem, &ti.start_order(x))
+                    .expect("snapshot validated: every job fits the machine")
             };
             debug_assert!(schedule.validate(problem).is_ok());
             let value = config.metric.eval(problem, &schedule);

@@ -80,6 +80,80 @@ impl ResourceProfile {
     /// machine capacity. Zero-duration jobs fit anywhere `width` is free at
     /// a single instant.
     pub fn earliest_fit(&self, earliest: u64, duration: u64, width: u32) -> Option<u64> {
+        self.earliest_fit_probed(earliest, duration, width).0
+    }
+
+    /// [`Self::earliest_fit`] plus the number of segment probes the scan
+    /// performed — the planner's `planner.fit_probes` counter feeds on
+    /// this, turning "how much scanning did placement cost" into a
+    /// first-class observable.
+    ///
+    /// The scan is a *skip-scan*: both the candidate segment `i` and the
+    /// window check `j` only ever move forward, and a blocking segment
+    /// causes the scan to jump past the entire contiguous blocking run in
+    /// one pass instead of restarting with a fresh binary search per
+    /// segment (the previous implementation paid `O(log S)` per blocked
+    /// segment; on deep queues nearly every segment ahead of a placement
+    /// is blocked, which made full-schedule planning quadratic with a
+    /// log factor on top). Each call is `O(S)` worst case in the number
+    /// of segments, with exactly one `O(log S)` search at entry.
+    pub fn earliest_fit_probed(&self, earliest: u64, duration: u64, width: u32) -> (Option<u64>, u64) {
+        if width > self.capacity {
+            return (None, 0);
+        }
+        if width == 0 {
+            return (Some(earliest), 0);
+        }
+        let need = duration.max(1);
+        let mut probes = 1u64;
+        let mut i = self.segment_index(earliest);
+        // Candidate start: `earliest` itself inside segment `i`, later the
+        // left edge of whichever segment the scan advances to.
+        let mut t = earliest;
+        loop {
+            // Skip the entire blocking run in one forward pass.
+            while self.steps[i].1 < width {
+                i += 1;
+                probes += 1;
+                match self.steps.get(i) {
+                    Some(&(time, _)) => t = time,
+                    // The profile stays too full forever; with
+                    // width <= capacity this means it never returns to
+                    // enough free capacity.
+                    None => return (None, probes),
+                }
+            }
+            // Segment `i` has room at `t`; verify the rest of the window
+            // [t, t+need) without revisiting anything before `i`.
+            let end = t.saturating_add(need);
+            let mut j = i + 1;
+            loop {
+                match self.steps.get(j) {
+                    Some(&(time, free)) if time < end => {
+                        probes += 1;
+                        if free < width {
+                            // Blocked mid-window: the next candidate lies
+                            // past this blocking run; resume the outer
+                            // skip loop right here.
+                            i = j;
+                            t = time;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    // Window clear to its end (or the profile's tail).
+                    _ => return (Some(t), probes),
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of [`Self::earliest_fit`] predating the
+    /// skip-scan: restart-at-next-segment with a fresh binary search per
+    /// restart. Kept as the differential oracle for the equivalence
+    /// proptests below — the two scanners must agree on every profile.
+    #[cfg(test)]
+    pub(crate) fn earliest_fit_naive(&self, earliest: u64, duration: u64, width: u32) -> Option<u64> {
         if width > self.capacity {
             return None;
         }
@@ -95,22 +169,35 @@ impl ResourceProfile {
                     break;
                 }
                 if free < width {
-                    // Blocked: restart after the blocking segment ends.
                     let seg = first + i;
                     match self.steps.get(seg + 1) {
                         Some(&(next_time, _)) => {
                             t = next_time;
                             continue 'outer;
                         }
-                        // The last segment blocks and lasts forever; since
-                        // width <= capacity this only happens if the profile
-                        // never returns to enough capacity.
                         None => return None,
                     }
                 }
             }
             return Some(t);
         }
+    }
+
+    /// Collapses every breakpoint at or before `t` into the leading
+    /// segment, so scans anchored at `t` (or later) start at index 0
+    /// without a prefix search. Queries strictly before `t` are
+    /// **invalidated** — the planner calls this once on its private
+    /// working copy with `t = now`, where nothing may start earlier
+    /// anyway; fit and allocation results for times `>= t` are unchanged.
+    pub fn compress_before(&mut self, t: u64) {
+        let idx = self.segment_index(t);
+        if idx == 0 {
+            return;
+        }
+        let free = self.steps[idx].1;
+        self.steps.drain(1..=idx);
+        self.steps[0].1 = free;
+        self.coalesce();
     }
 
     /// Removes `width` resources over `[start, end)`.
@@ -124,21 +211,32 @@ impl ResourceProfile {
         if width == 0 {
             return;
         }
-        self.split_at(start);
-        self.split_at(end);
-        for step in &mut self.steps {
-            if step.0 >= start && step.0 < end {
-                assert!(
-                    step.1 >= width,
-                    "allocate: overcommit at t={} (free {}, need {})",
-                    step.0,
-                    step.1,
-                    width
-                );
-                step.1 -= width;
-            }
+        let lo = self.split_at(start);
+        let hi = self.split_at(end);
+        // Only the segments in [start, end) — indices [lo, hi) — change,
+        // and they all shift by the same amount, so inequality between
+        // interior neighbours is preserved. Coalescing can therefore only
+        // be needed at the two boundaries; everything outside the range is
+        // untouched. This keeps a planning pass's per-job cost bounded by
+        // the allocated span instead of the whole profile.
+        for step in &mut self.steps[lo..hi] {
+            assert!(
+                step.1 >= width,
+                "allocate: overcommit at t={} (free {}, need {})",
+                step.0,
+                step.1,
+                width
+            );
+            step.1 -= width;
         }
-        self.coalesce();
+        // Drop the later breakpoint of an equal pair, highest index first
+        // so the removal does not shift the other boundary.
+        if self.steps[hi].1 == self.steps[hi - 1].1 {
+            self.steps.remove(hi);
+        }
+        if lo > 0 && self.steps[lo].1 == self.steps[lo - 1].1 {
+            self.steps.remove(lo);
+        }
     }
 
     /// Adds `width` resources back over `[start, end)`, clamped at capacity.
@@ -159,12 +257,15 @@ impl ResourceProfile {
         self.coalesce();
     }
 
-    /// Ensures a breakpoint exists at time `t`.
-    fn split_at(&mut self, t: u64) {
+    /// Ensures a breakpoint exists at time `t`; returns its index.
+    fn split_at(&mut self, t: u64) -> usize {
         let idx = self.segment_index(t);
-        if self.steps[idx].0 != t {
+        if self.steps[idx].0 == t {
+            idx
+        } else {
             let free = self.steps[idx].1;
             self.steps.insert(idx + 1, (t, free));
+            idx + 1
         }
     }
 
@@ -216,6 +317,7 @@ impl ResourceProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn fresh_profile_is_fully_free() {
@@ -356,5 +458,184 @@ mod tests {
         let p = ResourceProfile::new(0);
         assert_eq!(p.earliest_fit(0, 10, 1), None);
         assert_eq!(p.earliest_fit(0, 10, 0), Some(0));
+    }
+
+    #[test]
+    fn zero_width_fits_anywhere_even_on_full_machine() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(0, 1_000, 8);
+        assert_eq!(p.earliest_fit(0, 50, 0), Some(0));
+        assert_eq!(p.earliest_fit(123, 50, 0), Some(123));
+        assert_eq!(p.earliest_fit_probed(0, 50, 0), (Some(0), 0));
+    }
+
+    #[test]
+    fn blocked_forever_tail_is_none() {
+        // The *last* segment blocks and extends to infinity: the scan must
+        // terminate with None instead of walking off the end. Such a
+        // profile cannot be built with allocate (which always restores
+        // capacity after the reservation), so construct it directly.
+        let p = ResourceProfile {
+            capacity: 8,
+            steps: vec![(0, 8), (50, 2)],
+        };
+        p.check_invariants().unwrap();
+        assert_eq!(p.earliest_fit(0, 100, 4), None);
+        assert_eq!(p.earliest_fit(60, 1, 4), None);
+        assert_eq!(p.earliest_fit_naive(0, 100, 4), None);
+        // A narrow job still fits in the eternal tail.
+        assert_eq!(p.earliest_fit(0, 100, 2), Some(0));
+        assert_eq!(p.earliest_fit(60, 1000, 2), Some(60));
+        // And a wide job fits only in the unconstrained head window.
+        assert_eq!(p.earliest_fit(0, 50, 4), Some(0));
+    }
+
+    #[test]
+    fn skip_scan_jumps_blocking_runs_with_bounded_probes() {
+        // 100 consecutive blocking segments of alternating fullness; the
+        // skip-scan must pass the whole run with one probe per segment.
+        let mut p = ResourceProfile::new(8);
+        for k in 0..100u64 {
+            let width = if k % 2 == 0 { 7 } else { 6 };
+            p.allocate(k * 10, (k + 1) * 10, width);
+        }
+        let (start, probes) = p.earliest_fit_probed(0, 5, 4);
+        assert_eq!(start, Some(1000));
+        // One probe per visited segment plus the entry probe — far below
+        // what per-segment restarts with binary searches would cost.
+        assert!(probes <= p.steps().len() as u64 + 1, "probes = {probes}");
+    }
+
+    #[test]
+    fn compress_before_preserves_future_queries() {
+        let mut p = ResourceProfile::new(16);
+        p.allocate(0, 40, 3);
+        p.allocate(10, 70, 5);
+        p.allocate(65, 90, 2);
+        let reference = p.clone();
+        p.compress_before(50);
+        p.check_invariants().unwrap();
+        assert!(p.steps().len() <= reference.steps().len());
+        for t in 50..120 {
+            assert_eq!(p.free_at(t), reference.free_at(t), "free_at({t})");
+        }
+        for dur in [1u64, 5, 30] {
+            for width in [1u32, 4, 9, 16] {
+                assert_eq!(
+                    p.earliest_fit(50, dur, width),
+                    reference.earliest_fit(50, dur, width),
+                    "fit from 50, dur {dur}, width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compress_before_zero_or_first_segment_is_noop() {
+        let mut p = ResourceProfile::new(8);
+        p.allocate(100, 200, 4);
+        let reference = p.clone();
+        p.compress_before(0);
+        assert_eq!(p, reference);
+        p.compress_before(99);
+        assert_eq!(p, reference);
+    }
+
+    /// Random profile construction shared by the proptests: a machine of
+    /// `cap` resources with `allocs` reservations stacked wherever they fit.
+    fn random_profile(cap: u32, allocs: &[(u64, u64, u32)]) -> ResourceProfile {
+        let mut p = ResourceProfile::new(cap);
+        for &(start, len, width) in allocs {
+            let len = len.max(1);
+            if let Some(t) = p.earliest_fit(start, len, width) {
+                p.allocate(t, t.saturating_add(len), width);
+            }
+        }
+        p.check_invariants().unwrap();
+        p
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn fit_never_overlaps_a_blocked_segment(
+            cap in 1u32..=32,
+            allocs in prop::collection::vec((0u64..500, 1u64..80, 1u32..=16), 0..12),
+            earliest in 0u64..300,
+            duration in 1u64..100,
+            width in 1u32..=32,
+        ) {
+            let p = random_profile(cap, &allocs);
+            prop_assume!(width <= cap);
+            if let Some(t) = p.earliest_fit(earliest, duration, width) {
+                prop_assert!(t >= earliest);
+                prop_assert!(
+                    p.min_free(t, t.saturating_add(duration.max(1))) >= width,
+                    "start {t} overlaps a segment with free < {width}"
+                );
+            }
+        }
+
+        #[test]
+        fn fit_is_minimal(
+            cap in 1u32..=32,
+            allocs in prop::collection::vec((0u64..500, 1u64..80, 1u32..=16), 0..12),
+            earliest in 0u64..300,
+            duration in 1u64..100,
+            width in 1u32..=32,
+        ) {
+            let p = random_profile(cap, &allocs);
+            prop_assume!(width <= cap);
+            if let Some(t) = p.earliest_fit(earliest, duration, width) {
+                // No feasible start exists strictly before t: it suffices to
+                // check segment left edges in [earliest, t) plus `earliest`
+                // itself, since feasibility within a segment is monotone.
+                let need = duration.max(1);
+                let feasible =
+                    |s: u64| p.min_free(s, s.saturating_add(need)) >= width;
+                prop_assert!(t == earliest || !feasible(earliest),
+                    "earlier start {earliest} feasible but fit returned {t}");
+                for &(time, _) in p.steps() {
+                    if time > earliest && time < t {
+                        prop_assert!(!feasible(time),
+                            "earlier start {time} feasible but fit returned {t}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn skip_scan_equals_naive_scan(
+            cap in 1u32..=32,
+            allocs in prop::collection::vec((0u64..500, 1u64..80, 1u32..=16), 0..12),
+            earliest in 0u64..600,
+            duration in 0u64..100,
+            width in 0u32..=40,
+        ) {
+            let p = random_profile(cap, &allocs);
+            prop_assert_eq!(
+                p.earliest_fit(earliest, duration, width),
+                p.earliest_fit_naive(earliest, duration, width)
+            );
+        }
+
+        #[test]
+        fn compress_before_is_transparent_for_future_fits(
+            cap in 1u32..=32,
+            allocs in prop::collection::vec((0u64..500, 1u64..80, 1u32..=16), 0..12),
+            cut in 0u64..400,
+            duration in 1u64..100,
+            width in 1u32..=32,
+        ) {
+            let p = random_profile(cap, &allocs);
+            let mut q = p.clone();
+            q.compress_before(cut);
+            q.check_invariants().map_err(TestCaseError::Fail)?;
+            prop_assert_eq!(
+                q.earliest_fit(cut, duration, width),
+                p.earliest_fit(cut, duration, width)
+            );
+        }
     }
 }

@@ -26,7 +26,7 @@ pub mod schedule;
 pub mod snapshot;
 
 pub use metrics::{Metric, MetricValue};
-pub use planner::{plan, plan_easy, plan_ordered};
+pub use planner::{plan, plan_easy, plan_ordered, plan_ordered_in, plan_with_profile, PlanError};
 pub use policy::Policy;
 pub use reservation::{admit, AdmissionRule, Reservation, ReservationRequest};
 pub use schedule::{Schedule, ScheduleEntry};

@@ -145,17 +145,21 @@ impl std::fmt::Display for Metric {
 }
 
 /// Pairs each schedule entry with its job record.
+///
+/// Metrics run once per policy per self-tuning step, so the lookup is on
+/// the planning hot path: jobs are indexed by id once and found by binary
+/// search per entry (`O((n+m) log n)`) instead of a linear scan per entry.
 fn zip_jobs<'a>(
     problem: &'a SchedulingProblem,
     schedule: &'a Schedule,
 ) -> impl Iterator<Item = (&'a dynp_trace::Job, &'a crate::schedule::ScheduleEntry)> {
+    let mut by_id: Vec<&dynp_trace::Job> = problem.jobs.iter().collect();
+    by_id.sort_unstable_by_key(|j| j.id);
     schedule.entries().iter().map(move |entry| {
-        let job = problem
-            .jobs
-            .iter()
-            .find(|j| j.id == entry.id)
+        let idx = by_id
+            .binary_search_by_key(&entry.id, |j| j.id)
             .expect("validated schedule entry has a job");
-        (job, entry)
+        (by_id[idx], entry)
     })
 }
 
@@ -205,7 +209,7 @@ mod tests {
 
     fn one_job_problem() -> (SchedulingProblem, Schedule) {
         let p = SchedulingProblem::on_empty_machine(100, 8, vec![Job::exact(0, 40, 4, 60)]);
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         (p, s)
     }
 
@@ -233,7 +237,7 @@ mod tests {
             16,
             vec![Job::exact(0, 0, 1, 100), Job::exact(1, 0, 3, 100)],
         );
-        let s = plan(&p, Policy::Fcfs); // both start at 0
+        let s = plan(&p, Policy::Fcfs).unwrap(); // both start at 0
                                         // responses both 100; weighted mean still 100.
         assert_eq!(Metric::ArtwW.eval(&p, &s), 100.0);
         // Force different responses: narrow machine.
@@ -242,7 +246,7 @@ mod tests {
             3,
             vec![Job::exact(0, 0, 1, 100), Job::exact(1, 0, 3, 100)],
         );
-        let s2 = plan(&p2, Policy::Fcfs);
+        let s2 = plan(&p2, Policy::Fcfs).unwrap();
         // job0: resp 100 weight 1; job1: starts at 100, resp 200, weight 3.
         let expect = (100.0 * 1.0 + 200.0 * 3.0) / 4.0;
         assert_eq!(Metric::ArtwW.eval(&p2, &s2), expect);
@@ -257,7 +261,7 @@ mod tests {
             2,
             vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 300)],
         );
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         // job0: wait 0, sld 1, area 200. job1: wait 100, run 300, sld 4/3,
         // area 600.
         let expect = (1.0 * 200.0 + (400.0 / 300.0) * 600.0) / 800.0;
@@ -271,7 +275,7 @@ mod tests {
             4,
             vec![Job::exact(0, 0, 2, 100), Job::exact(1, 0, 2, 100)],
         );
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         // Both run in parallel: makespan 100, work 400, capacity*span 400.
         assert_eq!(Metric::Makespan.eval(&p, &s), 100.0);
         assert_eq!(Metric::Utilization.eval(&p, &s), 1.0);

@@ -20,33 +20,109 @@
 use crate::policy::Policy;
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::snapshot::SchedulingProblem;
+use dynp_platform::ResourceProfile;
+
+/// Why a planning pass could not produce a schedule.
+///
+/// Planning is total except for one input defect: a waiting job that can
+/// *never* fit the machine (its width exceeds capacity, or the profile
+/// stays too full forever). Earlier revisions panicked on this, which made
+/// `admit()` violate its own "returns `None`" contract; now every planner
+/// entry point surfaces it as a value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanError {
+    /// A job can never be placed: wider than the machine, or blocked by a
+    /// profile that never frees enough resources.
+    JobTooWide {
+        /// The offending job.
+        id: dynp_trace::JobId,
+        /// Its resource requirement.
+        width: u32,
+        /// The machine capacity it exceeds (or the profile's eternal free
+        /// count falls below).
+        capacity: u32,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::JobTooWide {
+                id,
+                width,
+                capacity,
+            } => write!(
+                f,
+                "job {id} (width {width}) cannot ever fit machine of {capacity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Plans a full schedule for `problem` with the waiting queue ordered by
 /// `policy`. Every job is placed at its earliest feasible start; the
 /// schedule is guaranteed valid (see [`Schedule::validate`]).
-pub fn plan(problem: &SchedulingProblem, policy: Policy) -> Schedule {
-    plan_ordered(problem, &policy.order(&problem.jobs))
+///
+/// Builds the availability profile from the snapshot; callers planning the
+/// same snapshot several times (the self-tuning step plans once *per
+/// policy*) should build it once and use [`plan_with_profile`].
+pub fn plan(problem: &SchedulingProblem, policy: Policy) -> Result<Schedule, PlanError> {
+    plan_with_profile(problem, policy, &problem.availability_profile())
+}
+
+/// [`plan`] against a caller-supplied availability profile (as returned by
+/// [`SchedulingProblem::availability_profile`]). The profile is cloned,
+/// not consumed, so one build can serve every policy of a tuning step.
+pub fn plan_with_profile(
+    problem: &SchedulingProblem,
+    policy: Policy,
+    profile: &ResourceProfile,
+) -> Result<Schedule, PlanError> {
+    if let Some(r) = dynp_obs::recorder() {
+        r.counter("planner.profile_clones").inc();
+    }
+    plan_ordered_in(problem, &policy.order(&problem.jobs), profile.clone())
 }
 
 /// Plans a full schedule with an explicit job order (must be a permutation
 /// of the snapshot's jobs). Exposed so the ILP compaction step (§3.2) can
 /// re-insert jobs "according to the starting order of the schedule computed
 /// by CPLEX".
-pub fn plan_ordered(problem: &SchedulingProblem, order: &[dynp_trace::Job]) -> Schedule {
-    let mut profile = problem.availability_profile();
+pub fn plan_ordered(
+    problem: &SchedulingProblem,
+    order: &[dynp_trace::Job],
+) -> Result<Schedule, PlanError> {
+    plan_ordered_in(problem, order, problem.availability_profile())
+}
+
+/// Core list-scheduling pass: places `order` into an owned working
+/// `profile`. All planner entry points funnel here.
+///
+/// The profile's pre-`now` prefix is compressed away first
+/// ([`ResourceProfile::compress_before`]) — no job may start before `now`,
+/// and a short profile keeps every subsequent skip-scan and allocation
+/// cheap. Emits `planner.fit_probes` (total segment probes) and the
+/// `planner.plan_ordered` latency span when a recorder is installed.
+pub fn plan_ordered_in(
+    problem: &SchedulingProblem,
+    order: &[dynp_trace::Job],
+    mut profile: ResourceProfile,
+) -> Result<Schedule, PlanError> {
+    let _span = dynp_obs::Span::enter("planner.plan_ordered");
+    profile.compress_before(problem.now);
     let mut schedule = Schedule::new();
+    let mut probes = 0u64;
     for job in order {
         let duration = job.estimated_duration.max(1);
-        let start = profile
-            .earliest_fit(problem.now, duration, job.width)
-            .unwrap_or_else(|| {
-                panic!(
-                    "job {} (width {}) cannot ever fit machine of {}",
-                    job.id,
-                    job.width,
-                    problem.capacity()
-                )
-            });
+        let (start, fit_probes) = profile.earliest_fit_probed(problem.now, duration, job.width);
+        probes += fit_probes;
+        let start = start.ok_or(PlanError::JobTooWide {
+            id: job.id,
+            width: job.width,
+            capacity: problem.capacity(),
+        })?;
         profile.allocate(start, start + duration, job.width);
         schedule.push(ScheduleEntry {
             id: job.id,
@@ -55,7 +131,10 @@ pub fn plan_ordered(problem: &SchedulingProblem, order: &[dynp_trace::Job]) -> S
             width: job.width,
         });
     }
-    schedule
+    if let Some(r) = dynp_obs::recorder() {
+        r.counter("planner.fit_probes").add(probes);
+    }
+    Ok(schedule)
 }
 
 /// EASY-style aggressive backfilling (extension; see module docs).
@@ -66,18 +145,24 @@ pub fn plan_ordered(problem: &SchedulingProblem, order: &[dynp_trace::Job]) -> S
 /// otherwise they queue behind it. This repeats each time the head job is
 /// placed, mirroring the EASY LoadLeveler algorithm transplanted into a
 /// planning context.
-pub fn plan_easy(problem: &SchedulingProblem, policy: Policy) -> Schedule {
+pub fn plan_easy(problem: &SchedulingProblem, policy: Policy) -> Result<Schedule, PlanError> {
     let mut waiting = policy.order(&problem.jobs);
     let mut profile = problem.availability_profile();
+    profile.compress_before(problem.now);
     let mut schedule = Schedule::new();
     let mut clock = problem.now;
     while !waiting.is_empty() {
         // Reserve the head job.
         let head = waiting.remove(0);
         let head_dur = head.estimated_duration.max(1);
-        let head_start = profile
-            .earliest_fit(clock, head_dur, head.width)
-            .expect("head job wider than machine");
+        let head_start =
+            profile
+                .earliest_fit(clock, head_dur, head.width)
+                .ok_or(PlanError::JobTooWide {
+                    id: head.id,
+                    width: head.width,
+                    capacity: problem.capacity(),
+                })?;
         profile.allocate(head_start, head_start + head_dur, head.width);
         schedule.push(ScheduleEntry {
             id: head.id,
@@ -110,7 +195,7 @@ pub fn plan_easy(problem: &SchedulingProblem, policy: Policy) -> Schedule {
         // Next round plans from the head start onward.
         clock = head_start;
     }
-    schedule
+    Ok(schedule)
 }
 
 #[cfg(test)]
@@ -126,7 +211,7 @@ mod tests {
     #[test]
     fn single_job_starts_now() {
         let p = snapshot(8, vec![Job::exact(0, 0, 4, 100)]);
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         assert_eq!(s.start_of(JobId(0)), Some(0));
         s.validate(&p).unwrap();
     }
@@ -135,7 +220,7 @@ mod tests {
     fn fcfs_respects_submission_order() {
         // Two jobs that cannot run together.
         let p = snapshot(8, vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)]);
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         assert_eq!(s.start_of(JobId(0)), Some(0));
         assert_eq!(s.start_of(JobId(1)), Some(100));
         s.validate(&p).unwrap();
@@ -144,7 +229,7 @@ mod tests {
     #[test]
     fn sjf_reorders_but_stays_valid() {
         let p = snapshot(8, vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)]);
-        let s = plan(&p, Policy::Sjf);
+        let s = plan(&p, Policy::Sjf).unwrap();
         assert_eq!(s.start_of(JobId(1)), Some(0));
         assert_eq!(s.start_of(JobId(0)), Some(50));
         s.validate(&p).unwrap();
@@ -162,7 +247,7 @@ mod tests {
                 Job::exact(2, 0, 2, 100),
             ],
         );
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         assert_eq!(s.start_of(JobId(0)), Some(0));
         assert_eq!(s.start_of(JobId(1)), Some(100));
         // Job 2 runs next to job 0 even though job 1 was placed earlier.
@@ -174,7 +259,7 @@ mod tests {
     fn machine_history_delays_starts() {
         let history = MachineHistory::build(8, 10, &[(8, 500)]);
         let p = SchedulingProblem::new(10, history, vec![Job::exact(0, 5, 1, 100)]);
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         assert_eq!(s.start_of(JobId(0)), Some(500));
         s.validate(&p).unwrap();
     }
@@ -188,7 +273,7 @@ mod tests {
             history,
             vec![Job::exact(0, 0, 3, 50), Job::exact(1, 0, 4, 50)],
         );
-        let s = plan(&p, Policy::Fcfs);
+        let s = plan(&p, Policy::Fcfs).unwrap();
         assert_eq!(s.start_of(JobId(0)), Some(0));
         assert_eq!(s.start_of(JobId(1)), Some(200));
         s.validate(&p).unwrap();
@@ -197,7 +282,7 @@ mod tests {
     #[test]
     fn empty_snapshot_plans_empty_schedule() {
         let p = snapshot(8, vec![]);
-        assert!(plan(&p, Policy::Ljf).is_empty());
+        assert!(plan(&p, Policy::Ljf).unwrap().is_empty());
     }
 
     #[test]
@@ -209,20 +294,47 @@ mod tests {
                 .collect(),
         );
         for policy in Policy::ALL {
-            plan(&p, policy).validate(&p).unwrap();
+            plan(&p, policy).unwrap().validate(&p).unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "cannot ever fit")]
-    fn job_wider_than_machine_panics() {
+    fn job_wider_than_machine_is_an_error_not_a_panic() {
         let p = SchedulingProblem {
             now: 0,
             history: MachineHistory::empty(4, 0),
             jobs: vec![Job::exact(0, 0, 8, 100)],
             reservations: Vec::new(),
         };
-        plan(&p, Policy::Fcfs);
+        let err = plan(&p, Policy::Fcfs).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::JobTooWide {
+                id: JobId(0),
+                width: 8,
+                capacity: 4
+            }
+        );
+        assert!(err.to_string().contains("cannot ever fit"));
+        assert_eq!(plan_easy(&p, Policy::Fcfs).unwrap_err(), err);
+    }
+
+    #[test]
+    fn plan_with_profile_matches_plan() {
+        let p = snapshot(
+            16,
+            (0..30)
+                .map(|i| Job::exact(i, 0, 1 + (i % 9), 30 * (1 + (i as u64 % 11))))
+                .collect(),
+        );
+        let profile = p.availability_profile();
+        for policy in Policy::ALL {
+            assert_eq!(
+                plan_with_profile(&p, policy, &profile).unwrap(),
+                plan(&p, policy).unwrap(),
+                "policy {policy:?}"
+            );
+        }
     }
 
     #[test]
@@ -235,7 +347,7 @@ mod tests {
                 Job::exact(2, 0, 2, 50),
             ],
         );
-        let s = plan_easy(&p, Policy::Fcfs);
+        let s = plan_easy(&p, Policy::Fcfs).unwrap();
         s.validate(&p).unwrap();
         // Job 2 backfills next to job 0.
         assert_eq!(s.start_of(JobId(2)), Some(0));
@@ -252,8 +364,8 @@ mod tests {
                 Job::exact(2, 0, 4, 100),
             ],
         );
-        let a = plan(&p, Policy::Fcfs);
-        let b = plan_easy(&p, Policy::Fcfs);
+        let a = plan(&p, Policy::Fcfs).unwrap();
+        let b = plan_easy(&p, Policy::Fcfs).unwrap();
         for id in [0u32, 1, 2] {
             assert_eq!(a.start_of(JobId(id)), b.start_of(JobId(id)));
         }
@@ -263,7 +375,7 @@ mod tests {
     fn plan_ordered_respects_explicit_order() {
         let jobs = vec![Job::exact(0, 0, 6, 100), Job::exact(1, 0, 6, 50)];
         let p = snapshot(8, jobs.clone());
-        let s = plan_ordered(&p, &[jobs[1], jobs[0]]);
+        let s = plan_ordered(&p, &[jobs[1], jobs[0]]).unwrap();
         assert_eq!(s.start_of(JobId(1)), Some(0));
         assert_eq!(s.start_of(JobId(0)), Some(50));
     }

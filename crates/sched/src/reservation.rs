@@ -15,7 +15,7 @@
 //! fits the request — answering in planner time, i.e. milliseconds, which
 //! is exactly why the paper deems exact solvers impractical for this path.
 
-use crate::planner::plan;
+use crate::planner::plan_with_profile;
 use crate::policy::Policy;
 use crate::snapshot::SchedulingProblem;
 
@@ -84,8 +84,10 @@ pub enum AdmissionRule {
 }
 
 /// Tries to admit `request` into `problem`, returning the granted
-/// reservation (earliest possible window) or `None` if `width` exceeds
-/// the machine.
+/// reservation (earliest possible window) or `None` if the request — or,
+/// under [`AdmissionRule::AroundPlannedJobs`], any waiting job — can never
+/// fit the machine. The availability profile is built **once** and shared
+/// between the planning pass and the gap search.
 pub fn admit(
     problem: &SchedulingProblem,
     rule: AdmissionRule,
@@ -93,7 +95,9 @@ pub fn admit(
 ) -> Option<Reservation> {
     let mut profile: ResourceProfile = problem.availability_profile();
     if let AdmissionRule::AroundPlannedJobs(policy) = rule {
-        let schedule = plan(problem, policy);
+        // A planning failure (an unplannable waiting job) means no start
+        // time can be promised around the planned jobs: decline.
+        let schedule = plan_with_profile(problem, policy, &profile).ok()?;
         for entry in schedule.entries() {
             profile.allocate(entry.start, entry.end, entry.width);
         }
@@ -118,6 +122,7 @@ pub fn admit(
 mod tests {
     use super::*;
     use crate::metrics::Metric;
+    use crate::planner::plan;
     use dynp_platform::MachineHistory;
     use dynp_trace::Job;
 
@@ -271,7 +276,7 @@ mod tests {
         p.reservations.push(r);
         p.validate().unwrap();
         for policy in Policy::PAPER_SET {
-            let s = plan(&p, policy);
+            let s = plan(&p, policy).unwrap();
             s.validate(&p).unwrap();
             // No planned job may overlap the full-machine reservation.
             for e in s.entries() {
@@ -297,8 +302,42 @@ mod tests {
             end: 1600,
             width: 8,
         });
-        let s = plan(&p, Policy::Sjf);
+        let s = plan(&p, Policy::Sjf).unwrap();
         assert!(Metric::SldwA.eval(&p, &s) >= 1.0);
+    }
+
+    #[test]
+    fn unplannable_waiting_job_declines_instead_of_panicking() {
+        // A waiting job wider than the machine used to make
+        // AroundPlannedJobs *panic* inside plan(); the documented contract
+        // is to answer the requester with None.
+        let p = SchedulingProblem {
+            now: 0,
+            history: MachineHistory::empty(4, 0),
+            jobs: vec![Job::exact(0, 0, 8, 100)],
+            reservations: Vec::new(),
+        };
+        assert!(admit(
+            &p,
+            AdmissionRule::AroundPlannedJobs(Policy::Fcfs),
+            ReservationRequest {
+                width: 1,
+                duration: 10,
+                earliest: 0
+            },
+        )
+        .is_none());
+        // JobsYield ignores waiting jobs, so the same problem still admits.
+        assert!(admit(
+            &p,
+            AdmissionRule::JobsYield,
+            ReservationRequest {
+                width: 1,
+                duration: 10,
+                earliest: 0
+            },
+        )
+        .is_some());
     }
 
     #[test]

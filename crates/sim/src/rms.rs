@@ -125,7 +125,8 @@ impl<S: PolicySelector> Rms<S> {
             }
         };
         self.active = Some(policy);
-        let schedule = plan(&problem, policy);
+        let schedule =
+            plan(&problem, policy).expect("job width asserted <= capacity at submit");
         debug_assert!(schedule.validate(&problem).is_ok());
         // Dispatch everything planned to start right now.
         for entry in schedule.entries() {

@@ -75,6 +75,27 @@ pub fn clamp_widths(jobs: &[Job], machine_size: u32) -> Vec<Job> {
         .collect()
 }
 
+/// Drops jobs a planning-based RMS cannot schedule: zero width, zero
+/// estimated or actual duration, or wider than `machine_size`. The SWF
+/// reader already rejects sentinel records at parse time; this is the
+/// belt-and-suspenders pass for jobs from other sources (synthetic
+/// generators, hand-built tests) before they reach the simulator.
+/// Returns the kept jobs and the number dropped.
+pub fn sanitize(jobs: &[Job], machine_size: u32) -> (Vec<Job>, usize) {
+    let kept: Vec<Job> = jobs
+        .iter()
+        .filter(|j| {
+            j.width > 0
+                && j.width <= machine_size
+                && j.estimated_duration > 0
+                && j.actual_duration > 0
+        })
+        .copied()
+        .collect();
+    let dropped = jobs.len() - kept.len();
+    (kept, dropped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,5 +178,33 @@ mod tests {
             c.iter().map(|j| j.width).collect::<Vec<_>>(),
             vec![1, 2, 3, 3]
         );
+    }
+
+    #[test]
+    fn sanitize_drops_degenerate_and_oversized_jobs() {
+        let mut jobs = sample();
+        jobs.push(Job {
+            width: 0,
+            ..Job::exact(4, 500, 1, 10)
+        });
+        jobs.push(Job {
+            estimated_duration: 0,
+            ..Job::exact(5, 600, 2, 10)
+        });
+        jobs.push(Job {
+            actual_duration: 0,
+            ..Job::exact(6, 700, 2, 10)
+        });
+        jobs.push(Job::exact(7, 800, 64, 10)); // wider than the machine
+        let (kept, dropped) = sanitize(&jobs, 8);
+        assert_eq!(kept, sample());
+        assert_eq!(dropped, 4);
+    }
+
+    #[test]
+    fn sanitize_keeps_clean_traces_intact() {
+        let (kept, dropped) = sanitize(&sample(), 8);
+        assert_eq!(kept, sample());
+        assert_eq!(dropped, 0);
     }
 }

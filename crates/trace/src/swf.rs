@@ -54,6 +54,16 @@ impl SwfJob {
     /// and records that are unusable for scheduling (zero width, zero
     /// runtime, cancelled before start) are rejected with a reason.
     pub fn to_job(&self) -> Result<Job, String> {
+        // SWF status: 1 = completed, 0 = failed, 5 = cancelled (before
+        // start). Failed and cancelled records carry `-1` sentinels in
+        // their time fields; letting them through would smuggle clamped
+        // one-second durations into the workload and pollute every
+        // duration-weighted metric (SLDwA weighs by job area).
+        match self.status {
+            0 => return Err(format!("job {}: failed (status 0)", self.job_number)),
+            5 => return Err(format!("job {}: cancelled (status 5)", self.job_number)),
+            _ => {}
+        }
         let width = if self.requested_procs > 0 {
             self.requested_procs
         } else {
@@ -67,12 +77,17 @@ impl SwfJob {
             return Err(format!("job {}: no positive runtime", self.job_number));
         }
         // Planning-based RMSs require an estimate; fall back to the actual
-        // runtime when the trace has none (the archive marks it -1).
+        // runtime when the trace has none (the archive marks it -1). A
+        // zero/negative estimate with a positive runtime is a sentinel
+        // leak, not a one-second job — reject instead of clamping.
         let estimated = if self.requested_time > 0 {
             self.requested_time
         } else {
             actual
         };
+        if estimated <= 0 {
+            return Err(format!("job {}: no positive time estimate", self.job_number));
+        }
         if self.submit_time < 0 {
             return Err(format!("job {}: negative submit time", self.job_number));
         }
@@ -81,9 +96,9 @@ impl SwfJob {
             submit: self.submit_time as u64,
             width: width as u32,
             // Jobs may exceed their estimate in archive traces; the planner
-            // works with max(estimate, 1) and the simulator caps the runtime
-            // at the estimate (CCS semantics), so keep both raw values here.
-            estimated_duration: (estimated as u64).max(1),
+            // and the simulator cap the runtime at the estimate (CCS
+            // semantics), so keep both raw values here.
+            estimated_duration: estimated as u64,
             actual_duration: actual as u64,
             user: if self.user_id > 0 {
                 self.user_id as u32
@@ -363,6 +378,74 @@ mod tests {
         assert_eq!(t.jobs[0].submit, 10);
         // 300.5 rounds to 301 seconds of runtime.
         assert_eq!(t.jobs[0].actual_duration, 301);
+    }
+
+    #[test]
+    fn failed_job_with_positive_runtime_is_rejected() {
+        // Regression: a status-0 (failed) record with a real runtime used
+        // to pass conversion and enter the workload. Field 10 = status.
+        let line = "7 10 0 300 4 -1 -1 4 400 -1 0 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert_eq!(t.skipped.len(), 1);
+        assert!(t.skipped[0].contains("failed"), "{}", t.skipped[0]);
+    }
+
+    #[test]
+    fn cancelled_job_is_rejected() {
+        // Status 5 = cancelled before start; such records typically carry
+        // -1 in run_time, but even a positive one must not be scheduled.
+        let line = "8 10 0 300 4 -1 -1 4 400 -1 5 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert!(t.skipped[0].contains("cancelled"), "{}", t.skipped[0]);
+    }
+
+    #[test]
+    fn run_time_sentinel_is_rejected() {
+        // run_time -1 (field 3) on an otherwise completed record.
+        let line = "9 10 0 -1 4 -1 -1 4 400 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert!(t.skipped[0].contains("runtime"), "{}", t.skipped[0]);
+    }
+
+    #[test]
+    fn both_time_sentinels_are_rejected_not_clamped() {
+        // Both run_time and requested_time -1: before this was checked,
+        // the estimate was silently clamped to 1 second. Nothing about
+        // this record is schedulable.
+        let line = "10 10 0 -1 4 -1 -1 4 -1 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert_eq!(t.skipped.len(), 1);
+    }
+
+    #[test]
+    fn width_sentinels_in_both_proc_fields_are_rejected() {
+        // requested_procs and allocated_procs both -1 (fields 7 and 4).
+        let line = "11 10 0 300 -1 -1 -1 -1 400 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert!(t.skipped[0].contains("processor"), "{}", t.skipped[0]);
+    }
+
+    #[test]
+    fn submit_time_sentinel_is_rejected() {
+        let line = "12 -1 0 300 4 -1 -1 4 400 -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert!(t.jobs.is_empty());
+        assert!(t.skipped[0].contains("submit"), "{}", t.skipped[0]);
+    }
+
+    #[test]
+    fn unknown_status_with_usable_times_is_kept() {
+        // Status -1 (unknown) records with real time fields are usable —
+        // only explicit failure/cancellation is disqualifying.
+        let line = "13 10 0 300 4 -1 -1 4 400 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+        let t = parse_swf(line).unwrap();
+        assert_eq!(t.jobs.len(), 1);
+        assert!(t.skipped.is_empty());
     }
 
     #[test]

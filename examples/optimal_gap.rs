@@ -34,7 +34,7 @@ fn main() {
     println!();
     println!("--- policy schedules (SLDwA, planned) ---");
     for policy in Policy::PAPER_SET {
-        let schedule = plan(&problem, policy);
+        let schedule = plan(&problem, policy).unwrap();
         let sldwa = Metric::SldwA.eval(&problem, &schedule);
         let makespan = Metric::Makespan.eval(&problem, &schedule);
         println!(
@@ -77,7 +77,7 @@ fn main() {
     println!();
     println!("--- Eq. 7 quality per policy ---");
     for policy in Policy::PAPER_SET {
-        let schedule = plan(&problem, policy);
+        let schedule = plan(&problem, policy).unwrap();
         let value = Metric::SldwA.eval(&problem, &schedule);
         let q = quality(Metric::SldwA, exact, value);
         println!(

@@ -71,7 +71,7 @@ fn main() {
     // Re-plan the waiting jobs around all granted windows.
     println!();
     println!("--- jobs planned around the reservations (FCFS) ---");
-    let schedule = plan(&problem, Policy::Fcfs);
+    let schedule = plan(&problem, Policy::Fcfs).unwrap();
     schedule.validate(&problem).unwrap();
     let mut entries = schedule.start_order();
     entries.truncate(8);
@@ -90,7 +90,7 @@ fn main() {
     let t0 = Instant::now();
     let n_trials = 100;
     for _ in 0..n_trials {
-        std::hint::black_box(plan(&problem, Policy::Fcfs));
+        std::hint::black_box(plan(&problem, Policy::Fcfs).unwrap());
     }
     println!(
         "full re-plan of {} jobs + {} reservations: {:?} per call",

@@ -116,7 +116,7 @@ fn snapshots_replan_identically_offline() {
     assert!(!run.snapshots.is_empty());
     for snap in &run.snapshots {
         snap.problem.validate().unwrap();
-        let schedule = plan(&snap.problem, snap.chosen);
+        let schedule = plan(&snap.problem, snap.chosen).unwrap();
         schedule.validate(&snap.problem).unwrap();
     }
 }
@@ -143,7 +143,7 @@ fn exact_solver_weakly_improves_on_every_policy() {
     assert_eq!(run.status, MipStatus::Optimal);
     let exact = run.exact_value.unwrap();
     for policy in Policy::PAPER_SET {
-        let value = Metric::SldwA.eval(&problem, &plan(&problem, policy));
+        let value = Metric::SldwA.eval(&problem, &plan(&problem, policy).unwrap());
         assert!(
             exact <= value + 1e-9,
             "exact {exact} worse than {policy} {value}"

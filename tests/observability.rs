@@ -126,7 +126,7 @@ fn uninstrumented_paths_stay_silent_on_a_fresh_recorder() {
     // Planning a schedule directly (no solver, no simulator) touches no
     // instrumented subsystem, so the recorder stays empty.
     let p = snapshot();
-    let s = plan(&p, Policy::Sjf);
+    let s = plan(&p, Policy::Sjf).unwrap();
     assert!(!s.is_empty());
     assert!(recorder.events().is_empty());
     assert_eq!(recorder.counter("milp.nodes").get(), 0);

@@ -50,7 +50,7 @@ proptest! {
         let history = MachineHistory::build(16, now, &running);
         let problem = SchedulingProblem::new(now, history, jobs);
         for policy in Policy::ALL {
-            let schedule = plan(&problem, policy);
+            let schedule = plan(&problem, policy).unwrap();
             prop_assert!(schedule.validate(&problem).is_ok(),
                 "{policy} invalid: {:?}", schedule.validate(&problem));
         }
@@ -125,7 +125,7 @@ proptest! {
     ) {
         let problem = SchedulingProblem::on_empty_machine(2000, 16, jobs);
         for policy in Policy::PAPER_SET {
-            let s = plan(&problem, policy);
+            let s = plan(&problem, policy).unwrap();
             for m in [Metric::ArtwW, Metric::SldwA, Metric::Art, Metric::AvgWait,
                       Metric::AvgSlowdown, Metric::Utilization, Metric::Makespan] {
                 let v = m.eval(&problem, &s);
@@ -192,7 +192,7 @@ proptest! {
             <= ti.model.objective_value(&greedy) + 1e-6);
         // Compaction never delays any job past its slot-grid start.
         let slot_schedule = ti.slot_schedule(&x, &problem);
-        let compacted = milp::compact(&problem, &ti.start_order(&x));
+        let compacted = milp::compact(&problem, &ti.start_order(&x)).unwrap();
         compacted.validate(&problem).unwrap();
         for e in slot_schedule.entries() {
             prop_assert!(compacted.start_of(e.id).unwrap() <= e.start);
@@ -238,7 +238,7 @@ proptest! {
         problem.validate().unwrap();
         // Re-planning with any policy must route around the reservation.
         for policy in Policy::PAPER_SET {
-            let s = plan(&problem, policy);
+            let s = plan(&problem, policy).unwrap();
             prop_assert!(s.validate(&problem).is_ok());
             if granted.width == 16 {
                 // Full-machine reservation: nothing may overlap it.

@@ -315,7 +315,7 @@ pub mod collection {
         }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
