@@ -1,0 +1,871 @@
+//! Campaign configuration and the parallel, resumable cell runner.
+//!
+//! A *campaign* is the paper's §4 evaluation protocol as a first-class
+//! value: slice a trace into weekly shards, replay every shard under every
+//! selector and over-estimation factor, optionally compare a sample of
+//! quasi-off-line snapshots against the exact ILP under a fixed node
+//! budget, and aggregate everything into Table-1-style comparison tables.
+//!
+//! The cross-product `{shard × selector × factor}` is enumerated into a
+//! deterministic *cell* list. Cells are independent, so they fan out
+//! across a worker pool; every finished cell is appended to a JSONL
+//! checkpoint ([`crate::checkpoint`]), and re-launching the same campaign
+//! against the same output directory resumes exactly — completed cells
+//! are read back instead of recomputed, and the final report is
+//! **byte-identical** to an uninterrupted run. That works because cell
+//! records contain only deterministic quantities: solve effort is counted
+//! in branch & bound nodes and simplex iterations, never wall-clock time.
+
+use crate::checkpoint::{self, CheckpointLog};
+use crate::pool;
+use crate::report;
+use dynp_core::{Decider, FixedPolicy, SelfTuning};
+use dynp_milp::{solve_snapshot, BranchLimits, MipStatus, SolveConfig};
+use dynp_obs::JsonValue;
+use dynp_sched::{Metric, Policy};
+use dynp_sim::{simulate, SimConfig, SnapshotFilter, TunedSnapshot};
+use dynp_trace::filter::overestimate;
+use dynp_trace::{shards, Job, TraceShard, WEEK_SECONDS};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Which scheduler drives a campaign cell.
+///
+/// The spec (not the live selector) is what a campaign stores: it has a
+/// stable [`label`](SelectorSpec::label) that identifies the cell in
+/// checkpoints and reports, and it builds a fresh selector per cell so
+/// cells never share tuning state.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SelectorSpec {
+    /// A fixed basic policy for the whole replay.
+    Fixed(Policy),
+    /// The self-tuning dynP scheduler.
+    DynP {
+        /// Tuning metric (the paper uses SLDwA).
+        metric: Metric,
+        /// Switch decision mechanism.
+        decider: Decider,
+    },
+}
+
+impl SelectorSpec {
+    /// The paper's §4 comparison set: the three basic policies plus dynP
+    /// with the simple decider.
+    pub fn paper_set() -> Vec<SelectorSpec> {
+        vec![
+            SelectorSpec::Fixed(Policy::Fcfs),
+            SelectorSpec::Fixed(Policy::Sjf),
+            SelectorSpec::Fixed(Policy::Ljf),
+            SelectorSpec::dynp(),
+        ]
+    }
+
+    /// dynP with the paper's defaults: SLDwA metric, simple decider.
+    pub fn dynp() -> SelectorSpec {
+        SelectorSpec::DynP {
+            metric: Metric::SldwA,
+            decider: Decider::Simple,
+        }
+    }
+
+    /// Stable display/checkpoint label. Unlike the live selector's label,
+    /// this encodes the decider too, so two dynP variants never collide
+    /// in a checkpoint.
+    pub fn label(&self) -> String {
+        match self {
+            SelectorSpec::Fixed(p) => p.name().to_string(),
+            SelectorSpec::DynP { metric, decider } => {
+                format!("dynP({},{})", metric.name(), decider.name())
+            }
+        }
+    }
+
+    /// Parses a command-line selector name: `fcfs`, `sjf`, `ljf`, `dynp`
+    /// (simple decider), `dynp-adv` (advanced), `dynp-sticky` (5 %
+    /// margin).
+    pub fn parse(s: &str) -> Result<SelectorSpec, CampaignError> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "fcfs" => Ok(SelectorSpec::Fixed(Policy::Fcfs)),
+            "sjf" => Ok(SelectorSpec::Fixed(Policy::Sjf)),
+            "ljf" => Ok(SelectorSpec::Fixed(Policy::Ljf)),
+            "dynp" | "dynp-simple" => Ok(SelectorSpec::dynp()),
+            "dynp-adv" | "dynp-advanced" => Ok(SelectorSpec::DynP {
+                metric: Metric::SldwA,
+                decider: Decider::Advanced,
+            }),
+            "dynp-sticky" => Ok(SelectorSpec::DynP {
+                metric: Metric::SldwA,
+                decider: Decider::Sticky { margin: 0.05 },
+            }),
+            other => Err(CampaignError::InvalidConfig(format!(
+                "unknown selector {other:?} (expected fcfs, sjf, ljf, dynp, dynp-adv or dynp-sticky)"
+            ))),
+        }
+    }
+}
+
+/// Exact-comparison side of a campaign: which snapshots to solve and
+/// under what budget.
+///
+/// `#[non_exhaustive]`: build with [`ExactConfig::new`] + `with_*`.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct ExactConfig {
+    /// Comparison metric (the paper: SLDwA).
+    pub metric: Metric,
+    /// Keep snapshots with at least this many waiting jobs.
+    pub min_jobs: usize,
+    /// Keep snapshots with at most this many waiting jobs.
+    pub max_jobs: usize,
+    /// Solve at most this many snapshots per cell (spread-sampled over
+    /// the replay).
+    pub max_snapshots: usize,
+    /// Branch & bound node budget per solve — the deterministic stand-in
+    /// for the paper's "CPLEX was interrupted" regime. A solve that
+    /// exhausts it still yields its incumbent (or an explicit
+    /// no-incumbent outcome), never an error.
+    pub node_budget: usize,
+    /// Simplex iteration budget per LP.
+    pub lp_iteration_budget: usize,
+    /// Optional wall-clock limit. **Breaks resume determinism** (a
+    /// resumed cell may have been cut at a different point than a fresh
+    /// one), so it defaults to `None`; prefer `node_budget`.
+    pub time_limit: Option<Duration>,
+    /// Fixed slot width override (ablations); `None` = Eq. 6 scaling.
+    pub scale_override: Option<u64>,
+    /// Eq. 6 memory budget in bytes; `None` = the paper's 8 GB / 4.
+    /// Smaller budgets coarsen the time grid, which bounds not just the
+    /// matrix memory but the simplex cost per iteration — the knob to
+    /// turn when a trace's long-running jobs make snapshots expensive.
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig::new()
+    }
+}
+
+impl ExactConfig {
+    /// Paper-style defaults with a small deterministic budget: SLDwA,
+    /// snapshots of 3–12 waiting jobs, 2 snapshots per cell, 3000 nodes.
+    pub fn new() -> ExactConfig {
+        ExactConfig {
+            metric: Metric::SldwA,
+            min_jobs: 3,
+            max_jobs: 12,
+            max_snapshots: 2,
+            node_budget: 3_000,
+            lp_iteration_budget: 200_000,
+            time_limit: None,
+            scale_override: None,
+            memory_budget_bytes: None,
+        }
+    }
+
+    /// Snapshot size window `[min_jobs, max_jobs]`.
+    pub fn with_job_range(mut self, min_jobs: usize, max_jobs: usize) -> ExactConfig {
+        self.min_jobs = min_jobs;
+        self.max_jobs = max_jobs;
+        self
+    }
+
+    /// Snapshots solved per cell.
+    pub fn with_max_snapshots(mut self, max_snapshots: usize) -> ExactConfig {
+        self.max_snapshots = max_snapshots;
+        self
+    }
+
+    /// Branch & bound node budget per solve.
+    pub fn with_node_budget(mut self, node_budget: usize) -> ExactConfig {
+        self.node_budget = node_budget;
+        self
+    }
+
+    /// Simplex iteration budget per LP relaxation. Caps degenerate LPs:
+    /// a stalled relaxation counts as "CPLEX still running", it does not
+    /// stall the sweep.
+    pub fn with_lp_iteration_budget(mut self, lp_iteration_budget: usize) -> ExactConfig {
+        self.lp_iteration_budget = lp_iteration_budget;
+        self
+    }
+
+    /// Comparison metric.
+    pub fn with_metric(mut self, metric: Metric) -> ExactConfig {
+        self.metric = metric;
+        self
+    }
+
+    /// Fixed slot width (overrides Eq. 6).
+    pub fn with_scale_override(mut self, scale: u64) -> ExactConfig {
+        self.scale_override = Some(scale);
+        self
+    }
+
+    /// Eq. 6 memory budget in bytes (the paper: 2 GiB). Coarsens the
+    /// grid when smaller, bounding per-iteration simplex cost.
+    pub fn with_memory_budget_bytes(mut self, bytes: u64) -> ExactConfig {
+        self.memory_budget_bytes = Some(bytes);
+        self
+    }
+
+    fn canonical(&self) -> JsonValue {
+        JsonValue::object()
+            .with("metric", self.metric.name())
+            .with("min_jobs", self.min_jobs)
+            .with("max_jobs", self.max_jobs)
+            .with("max_snapshots", self.max_snapshots)
+            .with("node_budget", self.node_budget)
+            .with("lp_iteration_budget", self.lp_iteration_budget)
+            .with(
+                "time_limit_ms",
+                match self.time_limit {
+                    Some(d) => JsonValue::from(d.as_millis() as u64),
+                    None => JsonValue::Null,
+                },
+            )
+            .with(
+                "scale_override",
+                match self.scale_override {
+                    Some(s) => JsonValue::from(s),
+                    None => JsonValue::Null,
+                },
+            )
+            .with(
+                "memory_budget_bytes",
+                match self.memory_budget_bytes {
+                    Some(b) => JsonValue::from(b),
+                    None => JsonValue::Null,
+                },
+            )
+    }
+}
+
+/// A full campaign description.
+///
+/// `#[non_exhaustive]`: build with [`CampaignConfig::new`] + `with_*`.
+/// Everything except `workers` and `output_dir` enters the campaign
+/// fingerprint, so a checkpoint taken with 1 worker resumes fine under 8.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub struct CampaignConfig {
+    /// Campaign name: file stem of the checkpoint and the reports.
+    pub name: String,
+    /// Machine size in nodes (CTC: 430).
+    pub machine_size: u32,
+    /// Shard window length in seconds ([`WEEK_SECONDS`] = the paper's
+    /// weekly protocol).
+    pub shard_seconds: u64,
+    /// Selectors swept per shard.
+    pub selectors: Vec<SelectorSpec>,
+    /// Runtime over-estimation factors swept per shard (1.0 = exact
+    /// estimates).
+    pub factors: Vec<f64>,
+    /// Worker threads for the cell fan-out.
+    pub workers: usize,
+    /// Exact ILP comparison; `None` replays only.
+    pub exact: Option<ExactConfig>,
+    /// Where the checkpoint and reports live.
+    pub output_dir: PathBuf,
+}
+
+impl CampaignConfig {
+    /// A weekly-shard campaign over the paper's selector set with exact
+    /// estimates, one worker, and exact comparison at default budgets.
+    pub fn new(name: &str, machine_size: u32) -> CampaignConfig {
+        CampaignConfig {
+            name: name.to_string(),
+            machine_size,
+            shard_seconds: WEEK_SECONDS,
+            selectors: SelectorSpec::paper_set(),
+            factors: vec![1.0],
+            workers: 1,
+            exact: Some(ExactConfig::new()),
+            output_dir: PathBuf::from("results"),
+        }
+    }
+
+    /// Shard window length in seconds.
+    pub fn with_shard_seconds(mut self, shard_seconds: u64) -> CampaignConfig {
+        self.shard_seconds = shard_seconds;
+        self
+    }
+
+    /// Replaces the selector sweep.
+    pub fn with_selectors(mut self, selectors: Vec<SelectorSpec>) -> CampaignConfig {
+        self.selectors = selectors;
+        self
+    }
+
+    /// Replaces the over-estimation factor sweep.
+    pub fn with_factors(mut self, factors: Vec<f64>) -> CampaignConfig {
+        self.factors = factors;
+        self
+    }
+
+    /// Worker threads (not part of the fingerprint).
+    pub fn with_workers(mut self, workers: usize) -> CampaignConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets (or, with `None`, disables) the exact comparison.
+    pub fn with_exact(mut self, exact: Option<ExactConfig>) -> CampaignConfig {
+        self.exact = exact;
+        self
+    }
+
+    /// Output directory for checkpoint + reports.
+    pub fn with_output_dir(mut self, dir: impl Into<PathBuf>) -> CampaignConfig {
+        self.output_dir = dir.into();
+        self
+    }
+
+    fn validate(&self, jobs: &[Job]) -> Result<(), CampaignError> {
+        if jobs.is_empty() {
+            return Err(CampaignError::EmptyTrace);
+        }
+        if self.selectors.is_empty() {
+            return Err(CampaignError::InvalidConfig(
+                "campaign has no selectors".into(),
+            ));
+        }
+        if self.factors.is_empty() {
+            return Err(CampaignError::InvalidConfig(
+                "campaign has no over-estimation factors".into(),
+            ));
+        }
+        if let Some(f) = self.factors.iter().find(|f| !f.is_finite() || **f < 1.0) {
+            return Err(CampaignError::InvalidConfig(format!(
+                "over-estimation factor {f} < 1.0 (estimates must cover the actual runtime)"
+            )));
+        }
+        if self.machine_size == 0 {
+            return Err(CampaignError::InvalidConfig("machine size is 0".into()));
+        }
+        if self.shard_seconds == 0 {
+            return Err(CampaignError::InvalidConfig("shard length is 0".into()));
+        }
+        if self.name.is_empty() || self.name.contains(['/', '\\']) {
+            return Err(CampaignError::InvalidConfig(format!(
+                "campaign name {:?} is not a valid file stem",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Canonical description of everything that determines cell results.
+    /// `workers` and `output_dir` are deliberately absent.
+    fn fingerprint(&self, jobs: &[Job]) -> String {
+        let mut trace = String::new();
+        for j in jobs {
+            use std::fmt::Write as _;
+            let _ = write!(
+                trace,
+                "{},{},{},{};",
+                j.submit, j.width, j.estimated_duration, j.actual_duration
+            );
+        }
+        let canonical = JsonValue::object()
+            .with("name", self.name.as_str())
+            .with("machine_size", self.machine_size)
+            .with("shard_seconds", self.shard_seconds)
+            .with(
+                "selectors",
+                JsonValue::Array(
+                    self.selectors
+                        .iter()
+                        .map(|s| JsonValue::from(s.label()))
+                        .collect(),
+                ),
+            )
+            .with(
+                "factors",
+                JsonValue::Array(self.factors.iter().map(|&f| JsonValue::from(f)).collect()),
+            )
+            .with(
+                "exact",
+                match &self.exact {
+                    Some(e) => e.canonical(),
+                    None => JsonValue::Null,
+                },
+            )
+            .with(
+                "trace",
+                checkpoint::fingerprint(&trace),
+            )
+            .to_json();
+        checkpoint::fingerprint(&canonical)
+    }
+}
+
+/// Why a campaign could not run.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The input trace has no jobs, so there are no shards and no cells.
+    EmptyTrace,
+    /// A configuration field is unusable; the message names it.
+    InvalidConfig(String),
+    /// Creating the output directory, checkpoint, or reports failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::EmptyTrace => {
+                write!(f, "campaign trace is empty: nothing to shard")
+            }
+            CampaignError::InvalidConfig(msg) => write!(f, "invalid campaign config: {msg}"),
+            CampaignError::Io(e) => write!(f, "campaign i/o failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> CampaignError {
+        CampaignError::Io(e)
+    }
+}
+
+/// What [`run_campaign`] hands back.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The campaign fingerprint stamped on every checkpoint record.
+    pub fingerprint: String,
+    /// Cells in the cross-product `shards × selectors × factors`.
+    pub cells_total: usize,
+    /// Cells read back from the checkpoint instead of computed.
+    pub cells_resumed: usize,
+    /// Cells computed (and appended to the checkpoint) in this run.
+    pub cells_computed: usize,
+    /// Checkpoint lines that were truncated, corrupt, or foreign.
+    pub checkpoint_rejected: usize,
+    /// The aggregated report (same value serialized to the JSON file).
+    pub report: JsonValue,
+    /// Path of the JSONL checkpoint.
+    pub checkpoint_path: PathBuf,
+    /// Path of the strict-JSON report.
+    pub report_json_path: PathBuf,
+    /// Path of the human-readable report.
+    pub report_text_path: PathBuf,
+}
+
+/// One unit of campaign work, fully determined by config + trace.
+struct Cell<'a> {
+    shard: &'a TraceShard,
+    spec: SelectorSpec,
+    factor: f64,
+}
+
+/// Runs (or resumes) a campaign over `jobs`.
+///
+/// The cell cross-product fans out over [`CampaignConfig::workers`]
+/// threads; each finished cell is checkpointed before the next is picked
+/// up. Valid records already present in the checkpoint are trusted and
+/// skipped, which makes a re-launch after a crash continue where it died
+/// and produce a byte-identical report.
+pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
+    let span = dynp_obs::Span::enter("exp.campaign");
+    config.validate(jobs)?;
+    let shard_list: Vec<TraceShard> = shards(jobs, config.shard_seconds).collect();
+    if shard_list.is_empty() {
+        // Unreachable with a non-empty trace, but keep the invariant local.
+        return Err(CampaignError::EmptyTrace);
+    }
+    let fingerprint = config.fingerprint(jobs);
+
+    // Deterministic cell enumeration: shard-major, then selector, then
+    // factor. The index is the checkpoint key.
+    let mut cells = Vec::new();
+    for shard in &shard_list {
+        for spec in &config.selectors {
+            for &factor in &config.factors {
+                cells.push(Cell {
+                    shard,
+                    spec: *spec,
+                    factor,
+                });
+            }
+        }
+    }
+
+    std::fs::create_dir_all(&config.output_dir)?;
+    let checkpoint_path = config.output_dir.join(format!("{}.checkpoint.jsonl", config.name));
+    let loaded = checkpoint::load(&checkpoint_path, &fingerprint)?;
+    let log = CheckpointLog::append_to(&checkpoint_path)?;
+
+    if let Some(r) = dynp_obs::recorder() {
+        r.event("exp.campaign_start")
+            .kv("name", config.name.as_str())
+            .kv("fingerprint", fingerprint.as_str())
+            .kv("shards", shard_list.len())
+            .kv("cells", cells.len())
+            .kv("resumable", loaded.cells.len())
+            .kv("workers", config.workers)
+            .emit();
+    }
+
+    let computed = AtomicUsize::new(0);
+    let resumed = AtomicUsize::new(0);
+    let cell_results: Vec<JsonValue> = pool::run_indexed(config.workers, &cells, |i, cell| {
+        if let Some(cached) = loaded.cells.get(&i) {
+            resumed.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        let data = run_cell(cell, config);
+        log.append(&fingerprint, i, &data);
+        computed.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = dynp_obs::recorder() {
+            r.event("exp.cell_done")
+                .kv("cell", i)
+                .kv("shard", cell.shard.index)
+                .kv("selector", cell.spec.label().as_str())
+                .kv("factor", cell.factor)
+                .emit();
+        }
+        data
+    });
+
+    let report = report::build(config, shard_list.len(), &cell_results);
+    let report_json_path = config.output_dir.join(format!("{}.report.json", config.name));
+    let report_text_path = config.output_dir.join(format!("{}.report.txt", config.name));
+    std::fs::write(&report_json_path, report.json.to_json())?;
+    std::fs::write(&report_text_path, &report.text)?;
+    drop(span);
+
+    Ok(CampaignOutcome {
+        fingerprint,
+        cells_total: cells.len(),
+        cells_resumed: resumed.into_inner(),
+        cells_computed: computed.into_inner(),
+        checkpoint_rejected: loaded.rejected,
+        report: report.json,
+        checkpoint_path,
+        report_json_path,
+        report_text_path,
+    })
+}
+
+/// Evenly spread `count` picks over `snapshots` (first + last included),
+/// mirroring the bench harness's sampling but local so `exp` stays
+/// independent of the bench crate.
+fn spread_sample(snapshots: &[TunedSnapshot], count: usize) -> Vec<TunedSnapshot> {
+    if snapshots.len() <= count {
+        return snapshots.to_vec();
+    }
+    if count == 0 {
+        return Vec::new();
+    }
+    if count == 1 {
+        return vec![snapshots[0].clone()];
+    }
+    (0..count)
+        .map(|i| snapshots[i * (snapshots.len() - 1) / (count - 1)].clone())
+        .collect()
+}
+
+/// Replays one cell and packs its deterministic results.
+fn run_cell(cell: &Cell<'_>, config: &CampaignConfig) -> JsonValue {
+    let jobs = if cell.factor > 1.0 {
+        overestimate(&cell.shard.jobs, cell.factor)
+    } else {
+        cell.shard.jobs.clone()
+    };
+    let mut sim_config = SimConfig::new(config.machine_size);
+    if let Some(exact) = &config.exact {
+        sim_config = sim_config.with_snapshots(SnapshotFilter {
+            min_jobs: exact.min_jobs,
+            max_jobs: exact.max_jobs,
+            stride: 1,
+            max_count: usize::MAX,
+        });
+    }
+
+    // `simulate` is generic over the selector, so dispatch per variant and
+    // collapse to the common record set + dynP stats.
+    let (summary, completed, skipped, snapshots, steps, switches) = match cell.spec {
+        SelectorSpec::Fixed(policy) => {
+            let run = simulate(&jobs, FixedPolicy(policy), sim_config);
+            (run.summary, run.records.len(), run.skipped.len(), run.snapshots, 0, 0)
+        }
+        SelectorSpec::DynP { metric, decider } => {
+            let selector = SelfTuning::new(Policy::PAPER_SET.to_vec(), metric, decider);
+            let run = simulate(&jobs, selector, sim_config);
+            let stats = run.selector.stats();
+            (
+                run.summary,
+                run.records.len(),
+                run.skipped.len(),
+                run.snapshots,
+                stats.steps(),
+                stats.switches(),
+            )
+        }
+    };
+
+    let mut data = JsonValue::object()
+        .with("shard", cell.shard.index)
+        .with("from", cell.shard.from)
+        .with("to", cell.shard.to)
+        .with("selector", cell.spec.label())
+        .with("factor", cell.factor)
+        .with("jobs", jobs.len())
+        .with("completed", completed)
+        .with("skipped", skipped)
+        .with("sldwa", summary.sldwa)
+        .with("avg_response", summary.avg_response)
+        .with("avg_wait", summary.avg_wait)
+        .with("utilization", summary.utilization)
+        .with("steps", steps)
+        .with("switches", switches);
+
+    if let Some(exact) = &config.exact {
+        data = data.with("exact", run_cell_exact(&snapshots, exact));
+    }
+    data
+}
+
+/// Solves the cell's snapshot sample and folds the outcomes into sums
+/// (means are taken at report time, so resumed and fresh aggregation are
+/// bit-identical).
+fn run_cell_exact(snapshots: &[TunedSnapshot], exact: &ExactConfig) -> JsonValue {
+    let sample = spread_sample(snapshots, exact.max_snapshots);
+    let mut solve_config = SolveConfig {
+        metric: exact.metric,
+        scale_override: exact.scale_override,
+        limits: BranchLimits {
+            max_nodes: exact.node_budget,
+            max_lp_iterations: exact.lp_iteration_budget,
+            time_limit: exact.time_limit,
+        },
+        ..SolveConfig::default()
+    };
+    if let Some(bytes) = exact.memory_budget_bytes {
+        solve_config.memory_bytes = bytes as f64;
+    }
+    let (mut compared, mut optimal, mut budget_hit, mut no_incumbent) = (0u64, 0u64, 0u64, 0u64);
+    let (mut quality_sum, mut loss_sum) = (0.0f64, 0.0f64);
+    let (mut nodes, mut lp_iterations) = (0u64, 0u64);
+    for snapshot in &sample {
+        // Snapshots from the filter always have >= min_jobs >= 1 waiting
+        // jobs, so input errors cannot occur here; skip defensively
+        // rather than poison the cell.
+        let Ok(run) = solve_snapshot(&snapshot.problem, &solve_config) else {
+            continue;
+        };
+        nodes += run.nodes as u64;
+        lp_iterations += run.lp_iterations as u64;
+        match run.comparison() {
+            Ok(cmp) => {
+                compared += 1;
+                quality_sum += cmp.quality;
+                loss_sum += cmp.perf_loss_percent;
+                if run.status == MipStatus::Optimal {
+                    optimal += 1;
+                } else {
+                    // The "CPLEX still running" regime: budget exhausted,
+                    // incumbent kept.
+                    budget_hit += 1;
+                }
+            }
+            Err(_) => no_incumbent += 1,
+        }
+    }
+    JsonValue::object()
+        .with("snapshots_seen", snapshots.len())
+        .with("sampled", sample.len())
+        .with("compared", compared)
+        .with("optimal", optimal)
+        .with("budget_hit", budget_hit)
+        .with("no_incumbent", no_incumbent)
+        .with("quality_sum", quality_sum)
+        .with("loss_sum", loss_sum)
+        .with("nodes", nodes)
+        .with("lp_iterations", lp_iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_trace::{CtcModel, WorkloadModel};
+    use std::path::Path;
+
+    fn tiny_trace(n: usize) -> Vec<Job> {
+        CtcModel {
+            nodes: 64,
+            ..CtcModel::default()
+        }
+        .generate(n, 11)
+        .jobs
+    }
+
+    fn unique_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        std::env::temp_dir().join(format!(
+            "dynp_exp_{}_{}_{}",
+            tag,
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn tiny_config(name: &str, dir: &Path) -> CampaignConfig {
+        CampaignConfig::new(name, 64)
+            .with_shard_seconds(6 * 3_600)
+            .with_selectors(vec![
+                SelectorSpec::Fixed(Policy::Fcfs),
+                SelectorSpec::dynp(),
+            ])
+            .with_exact(Some(
+                ExactConfig::new()
+                    .with_job_range(2, 8)
+                    .with_max_snapshots(1)
+                    .with_node_budget(200),
+            ))
+            .with_output_dir(dir)
+    }
+
+    #[test]
+    fn selector_labels_are_unique_and_parseable() {
+        let specs = [
+            "fcfs", "sjf", "ljf", "dynp", "dynp-adv", "dynp-sticky",
+        ]
+        .map(|s| SelectorSpec::parse(s).unwrap());
+        let labels: Vec<String> = specs.iter().map(SelectorSpec::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "labels collide: {labels:?}");
+        assert!(SelectorSpec::parse("cplex").is_err());
+    }
+
+    #[test]
+    fn empty_trace_is_a_typed_error_not_a_panic() {
+        let dir = unique_dir("empty");
+        let err = run_campaign(&[], &tiny_config("empty", &dir)).unwrap_err();
+        assert!(matches!(err, CampaignError::EmptyTrace));
+        assert!(err.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn invalid_factors_are_rejected() {
+        let dir = unique_dir("factors");
+        let config = tiny_config("factors", &dir).with_factors(vec![0.5]);
+        let err = run_campaign(&tiny_trace(10), &config).unwrap_err();
+        assert!(matches!(err, CampaignError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn campaign_covers_the_cell_cross_product() {
+        let dir = unique_dir("cover");
+        let config = tiny_config("cover", &dir).with_factors(vec![1.0, 3.0]);
+        let jobs = tiny_trace(60);
+        let outcome = run_campaign(&jobs, &config).unwrap();
+        let n_shards = shards(&jobs, config.shard_seconds).count();
+        assert_eq!(outcome.cells_total, n_shards * 2 * 2);
+        assert_eq!(outcome.cells_computed, outcome.cells_total);
+        assert_eq!(outcome.cells_resumed, 0);
+        assert!(outcome.report_json_path.exists());
+        assert!(outcome.report_text_path.exists());
+        // The report is strict JSON.
+        let text = std::fs::read_to_string(&outcome.report_json_path).unwrap();
+        dynp_obs::validate_json(&text).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_launch_resumes_every_cell() {
+        let dir = unique_dir("resume");
+        let config = tiny_config("resume", &dir);
+        let jobs = tiny_trace(40);
+        let first = run_campaign(&jobs, &config).unwrap();
+        assert!(first.cells_computed > 0);
+        let report_a = std::fs::read(&first.report_json_path).unwrap();
+        let second = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(second.cells_resumed, first.cells_total);
+        assert_eq!(second.cells_computed, 0);
+        let report_b = std::fs::read(&second.report_json_path).unwrap();
+        assert_eq!(report_a, report_b, "resumed report must be byte-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn changing_the_config_invalidates_the_checkpoint() {
+        let dir = unique_dir("invalidate");
+        let jobs = tiny_trace(40);
+        let config = tiny_config("inv", &dir);
+        let first = run_campaign(&jobs, &config).unwrap();
+        // Same name + dir, different node budget: fingerprint changes, so
+        // nothing resumes.
+        let changed = config.clone().with_exact(Some(
+            ExactConfig::new()
+                .with_job_range(2, 8)
+                .with_max_snapshots(1)
+                .with_node_budget(350),
+        ));
+        let second = run_campaign(&jobs, &changed).unwrap();
+        assert_eq!(second.cells_resumed, 0);
+        assert_eq!(second.cells_computed, first.cells_total);
+        // The stale lines are foreign, not fatal.
+        assert_eq!(second.checkpoint_rejected, first.cells_total);
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        // Every solver budget enters the fingerprint, including the Eq. 6
+        // memory budget (it changes the time grid, hence every result).
+        let base = tiny_config("inv", Path::new("x"));
+        let tighter = base
+            .clone()
+            .with_exact(Some(ExactConfig::new().with_memory_budget_bytes(2 << 20)));
+        assert_ne!(base.fingerprint(&jobs), tighter.fingerprint(&jobs));
+    }
+
+    #[test]
+    fn workers_do_not_change_the_report() {
+        let dir1 = unique_dir("w1");
+        let dir4 = unique_dir("w4");
+        let jobs = tiny_trace(50);
+        let serial = run_campaign(&jobs, &tiny_config("w", &dir1)).unwrap();
+        let parallel =
+            run_campaign(&jobs, &tiny_config("w", &dir4).with_workers(4)).unwrap();
+        assert_eq!(
+            serial.report.to_json(),
+            parallel.report.to_json(),
+            "worker count must not leak into results"
+        );
+        std::fs::remove_dir_all(&dir1).unwrap();
+        std::fs::remove_dir_all(&dir4).unwrap();
+    }
+
+    #[test]
+    fn spread_sample_keeps_ends() {
+        let dir = unique_dir("spread");
+        drop(dir);
+        let jobs = tiny_trace(80);
+        let run = simulate(
+            &jobs,
+            FixedPolicy(Policy::Fcfs),
+            SimConfig::new(64).with_snapshots(SnapshotFilter::default()),
+        );
+        if run.snapshots.len() >= 3 {
+            let sample = spread_sample(&run.snapshots, 2);
+            assert_eq!(sample.len(), 2);
+            assert_eq!(sample[0].step, run.snapshots[0].step);
+            assert_eq!(
+                sample[1].step,
+                run.snapshots.last().unwrap().step
+            );
+        }
+    }
+}

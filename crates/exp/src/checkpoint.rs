@@ -1,0 +1,272 @@
+//! The append-only JSONL checkpoint log that makes campaigns resumable.
+//!
+//! Every finished cell is appended as one self-validating JSON line:
+//!
+//! ```json
+//! {"v":1,"campaign":"<fingerprint>","cell":17,"data":{...},"crc":"<fnv64>"}
+//! ```
+//!
+//! * `v` — checkpoint schema version,
+//! * `campaign` — the campaign *fingerprint*: a hash of everything that
+//!   determines a cell's result (trace digest, shard length, selectors,
+//!   factors, budgets). Records from a different configuration are
+//!   ignored on load, so a stale directory can never contaminate a sweep,
+//! * `cell` — the cell's index in the campaign's deterministic cell
+//!   enumeration,
+//! * `data` — the cell result (deterministic quantities only — no wall
+//!   times — so a resumed report is byte-identical to an uninterrupted
+//!   one),
+//! * `crc` — FNV-1a over the record serialization *without* `crc`. A
+//!   truncated tail line (the process died mid-write) fails the parse or
+//!   the checksum and is simply dropped; the cell is recomputed.
+//!
+//! Lines are flushed to the OS after every append: a crash loses at most
+//! the cell that was being written.
+
+use dynp_obs::json::{parse, JsonValue};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Checkpoint schema version; bump when the record layout changes.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hex fingerprint of a canonical configuration string.
+pub fn fingerprint(canonical: &str) -> String {
+    format!("{:016x}", fnv1a64(canonical.as_bytes()))
+}
+
+/// Serializes one checkpoint record (a single JSONL line, no trailing
+/// newline).
+pub fn record_line(campaign: &str, cell: usize, data: &JsonValue) -> String {
+    let body = JsonValue::object()
+        .with("v", CHECKPOINT_VERSION)
+        .with("campaign", campaign)
+        .with("cell", cell)
+        .with("data", data.clone());
+    let crc = format!("{:016x}", fnv1a64(body.to_json().as_bytes()));
+    body.with("crc", crc).to_json()
+}
+
+/// Decodes one checkpoint line. Returns the cell index and its data when
+/// the line is well-formed, checksummed, and belongs to `campaign`;
+/// `Err` explains the rejection (used only for accounting — a rejected
+/// line just means the cell is recomputed).
+pub fn decode_line(line: &str, campaign: &str) -> Result<(usize, JsonValue), String> {
+    let value = parse(line).map_err(|e| format!("unparseable: {e}"))?;
+    let v = value
+        .get("v")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing version")?;
+    if v != CHECKPOINT_VERSION {
+        return Err(format!("unknown checkpoint version {v}"));
+    }
+    let record_campaign = value
+        .get("campaign")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing campaign fingerprint")?;
+    let cell = value
+        .get("cell")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing cell index")? as usize;
+    let data = value.get("data").ok_or("missing data")?.clone();
+    let crc = value
+        .get("crc")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing crc")?;
+    // Recompute the checksum over the canonical re-serialization; the
+    // parser keeps key order and number round-tripping, so a clean line
+    // reproduces its own bytes.
+    let body = JsonValue::object()
+        .with("v", v)
+        .with("campaign", record_campaign)
+        .with("cell", cell)
+        .with("data", data.clone());
+    let expect = format!("{:016x}", fnv1a64(body.to_json().as_bytes()));
+    if crc != expect {
+        return Err(format!("checksum mismatch: {crc} vs {expect}"));
+    }
+    if record_campaign != campaign {
+        return Err(format!("foreign campaign {record_campaign}"));
+    }
+    Ok((cell, data))
+}
+
+/// What [`load`] recovered from an existing checkpoint file.
+#[derive(Debug, Default)]
+pub struct LoadedCheckpoint {
+    /// Validated cell results, keyed by cell index (last record wins).
+    pub cells: BTreeMap<usize, JsonValue>,
+    /// Total non-empty lines seen.
+    pub lines: usize,
+    /// Lines dropped: truncated, corrupt, wrong version, or belonging to
+    /// a different campaign fingerprint.
+    pub rejected: usize,
+}
+
+/// Reads a checkpoint file, keeping every valid record of `campaign`.
+/// A missing file is an empty checkpoint, not an error.
+pub fn load(path: &Path, campaign: &str) -> std::io::Result<LoadedCheckpoint> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(LoadedCheckpoint::default())
+        }
+        Err(e) => return Err(e),
+    };
+    let mut loaded = LoadedCheckpoint::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        loaded.lines += 1;
+        match decode_line(line, campaign) {
+            Ok((cell, data)) => {
+                loaded.cells.insert(cell, data);
+            }
+            Err(_) => loaded.rejected += 1,
+        }
+    }
+    Ok(loaded)
+}
+
+/// The append side of the checkpoint: shared by all campaign workers,
+/// flushing after every record.
+#[derive(Debug)]
+pub struct CheckpointLog {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl CheckpointLog {
+    /// Opens (or creates) the checkpoint at `path` for appending. When
+    /// the file ends in a torn write (a crash mid-record leaves no
+    /// trailing newline), a newline is inserted first so the next record
+    /// is not glued onto — and lost with — the torn line.
+    pub fn append_to(path: &Path) -> std::io::Result<CheckpointLog> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len > 0 {
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::End(-1))?;
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                writeln!(file)?;
+            }
+        }
+        Ok(CheckpointLog {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The file this log appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one cell record and flushes it to the OS. Errors are
+    /// swallowed after being reported once via the event log — a full
+    /// disk degrades crash-safety, it must not kill a multi-hour sweep.
+    pub fn append(&self, campaign: &str, cell: usize, data: &JsonValue) {
+        let line = record_line(campaign, cell, data);
+        let mut file = self.file.lock().unwrap();
+        if let Err(e) = writeln!(file, "{line}").and_then(|_| file.flush()) {
+            if let Some(r) = dynp_obs::recorder() {
+                r.event("exp.checkpoint_write_failed")
+                    .kv("cell", cell)
+                    .kv("error", e.to_string().as_str())
+                    .emit();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(x: u64) -> JsonValue {
+        JsonValue::object()
+            .with("x", x)
+            .with("f", 0.1f64)
+            .with("label", "dynP(SLDwA)")
+    }
+
+    #[test]
+    fn record_round_trips() {
+        let line = record_line("cafe", 3, &data(7));
+        dynp_obs::json::validate(&line).unwrap();
+        let (cell, d) = decode_line(&line, "cafe").unwrap();
+        assert_eq!(cell, 3);
+        assert_eq!(d, data(7));
+    }
+
+    #[test]
+    fn truncated_and_tampered_lines_are_rejected() {
+        let line = record_line("cafe", 3, &data(7));
+        // Truncation (mid-write crash).
+        assert!(decode_line(&line[..line.len() - 10], "cafe").is_err());
+        // Bit-flip in the payload.
+        let tampered = line.replace("\"x\":7", "\"x\":8");
+        assert_ne!(tampered, line);
+        assert!(decode_line(&tampered, "cafe").unwrap_err().contains("checksum"));
+        // Foreign fingerprint.
+        assert!(decode_line(&line, "beef").unwrap_err().contains("foreign"));
+    }
+
+    #[test]
+    fn load_recovers_valid_records_and_counts_rejects() {
+        let dir = std::env::temp_dir().join(format!("dynp_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.checkpoint.jsonl");
+        let log = CheckpointLog::append_to(&path).unwrap();
+        log.append("cafe", 0, &data(1));
+        log.append("cafe", 2, &data(2));
+        // Simulate a crash mid-write plus a foreign record.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{}", record_line("beef", 9, &data(9))).unwrap();
+            write!(f, "{}", &record_line("cafe", 5, &data(5))[..20]).unwrap();
+        }
+        let loaded = load(&path, "cafe").unwrap();
+        assert_eq!(loaded.cells.len(), 2);
+        assert_eq!(loaded.cells[&0], data(1));
+        assert_eq!(loaded.cells[&2], data(2));
+        assert_eq!(loaded.lines, 4);
+        assert_eq!(loaded.rejected, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let loaded = load(Path::new("/nonexistent/nope.jsonl"), "cafe").unwrap();
+        assert!(loaded.cells.is_empty());
+        assert_eq!(loaded.lines, 0);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        assert_eq!(fingerprint("abc"), fingerprint("abc"));
+        assert_ne!(fingerprint("abc"), fingerprint("abd"));
+        assert_eq!(fingerprint("abc").len(), 16);
+    }
+}

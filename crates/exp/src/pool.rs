@@ -1,0 +1,91 @@
+//! A small fixed-size worker pool with dynamic (self-scheduling) cell
+//! pickup.
+//!
+//! The vendored rayon stand-in splits its input into one contiguous chunk
+//! per core, which load-balances badly when cells have very different
+//! costs (an exact-comparison cell can be orders of magnitude slower than
+//! a plain replay cell) and offers no control over the worker count. The
+//! campaign runner needs both — heterogeneous cells *and* a `workers`
+//! knob for the speedup experiments — so this pool hands out items one at
+//! a time from a shared atomic cursor and collects results in input
+//! order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `items` on `workers` threads, returning results in input
+/// order. `f` receives `(index, &item)`. With `workers <= 1` (or one
+/// item) the map runs inline on the caller's thread with no thread
+/// overhead.
+pub fn run_indexed<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    return;
+                };
+                // A closed channel means the collector is gone, which
+                // cannot happen inside this scope; ignore the error to
+                // avoid a panic path in workers.
+                let _ = tx.send((i, f(i, item)));
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index sent exactly once"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = run_indexed(workers, &items, |i, &x| (i as u64) * 1000 + x * 2);
+            let expect: Vec<u64> = (0..100).map(|i| i * 1000 + i * 2).collect();
+            assert_eq!(out, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = run_indexed(4, &[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_workers_degrades_to_inline() {
+        let out = run_indexed(0, &[1u32, 2, 3], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = run_indexed(64, &[5u32], |_, &x| x);
+        assert_eq!(out, vec![5]);
+    }
+}

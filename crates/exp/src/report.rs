@@ -1,0 +1,385 @@
+//! Folding checkpointed cells into the paper-style comparison report.
+//!
+//! The report exists in two forms written side by side: a human-readable
+//! text table (per-shard SLDwA plus an overall row per selector × factor,
+//! echoing the paper's weekly comparison tables) and a strict-JSON
+//! document for machines. Both are built *only* from deterministic cell
+//! fields and the campaign configuration — never from wall-clock time,
+//! worker count, or resume bookkeeping — so a resumed campaign reproduces
+//! both files byte for byte.
+
+use crate::campaign::CampaignConfig;
+use dynp_obs::JsonValue;
+use std::fmt::Write as _;
+
+/// A rendered report: the same aggregation in both output forms.
+pub struct BuiltReport {
+    /// Human-readable table block.
+    pub text: String,
+    /// Strict-JSON document (serialize with `to_json`).
+    pub json: JsonValue,
+}
+
+fn num(cell: &JsonValue, key: &str) -> f64 {
+    cell.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn int(cell: &JsonValue, key: &str) -> u64 {
+    cell.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+/// Aggregate of one `(selector, factor)` group across all shards.
+struct GroupAggregate {
+    label: String,
+    factor: f64,
+    shards: usize,
+    jobs: u64,
+    completed: u64,
+    skipped: u64,
+    sldwa_sum: f64,
+    switches: u64,
+    steps: u64,
+    exact: Option<ExactAggregate>,
+}
+
+#[derive(Default)]
+struct ExactAggregate {
+    sampled: u64,
+    compared: u64,
+    optimal: u64,
+    budget_hit: u64,
+    no_incumbent: u64,
+    quality_sum: f64,
+    loss_sum: f64,
+    nodes: u64,
+    lp_iterations: u64,
+}
+
+impl GroupAggregate {
+    fn sldwa_mean(&self) -> f64 {
+        if self.shards == 0 {
+            0.0
+        } else {
+            self.sldwa_sum / self.shards as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut v = JsonValue::object()
+            .with("selector", self.label.as_str())
+            .with("factor", self.factor)
+            .with("shards", self.shards)
+            .with("jobs", self.jobs)
+            .with("completed", self.completed)
+            .with("skipped", self.skipped)
+            .with("sldwa_mean", self.sldwa_mean())
+            .with("switches", self.switches)
+            .with("steps", self.steps);
+        v = match &self.exact {
+            Some(e) => v.with("exact", e.to_json()),
+            None => v.with("exact", JsonValue::Null),
+        };
+        v
+    }
+}
+
+impl ExactAggregate {
+    fn quality_mean(&self) -> Option<f64> {
+        (self.compared > 0).then(|| self.quality_sum / self.compared as f64)
+    }
+
+    fn loss_mean(&self) -> Option<f64> {
+        (self.compared > 0).then(|| self.loss_sum / self.compared as f64)
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object()
+            .with("sampled", self.sampled)
+            .with("compared", self.compared)
+            .with("optimal", self.optimal)
+            .with("budget_hit", self.budget_hit)
+            .with("no_incumbent", self.no_incumbent)
+            .with(
+                "quality_mean",
+                self.quality_mean().map(JsonValue::from).unwrap_or(JsonValue::Null),
+            )
+            .with(
+                "perf_loss_percent_mean",
+                self.loss_mean().map(JsonValue::from).unwrap_or(JsonValue::Null),
+            )
+            .with("nodes", self.nodes)
+            .with("lp_iterations", self.lp_iterations)
+    }
+}
+
+/// Builds the report from the full, index-ordered cell list. `cells` is
+/// shard-major (the enumeration order of the campaign runner), so each
+/// consecutive chunk of `selectors × factors` cells is one shard.
+pub fn build(config: &CampaignConfig, n_shards: usize, cells: &[JsonValue]) -> BuiltReport {
+    let group_count = config.selectors.len() * config.factors.len();
+    debug_assert_eq!(cells.len(), n_shards * group_count);
+
+    // Fold cells into per-(selector, factor) aggregates, iterating in the
+    // deterministic cell order so float sums reproduce exactly.
+    let mut groups: Vec<GroupAggregate> = Vec::with_capacity(group_count);
+    for spec in &config.selectors {
+        for &factor in &config.factors {
+            groups.push(GroupAggregate {
+                label: spec.label(),
+                factor,
+                shards: 0,
+                jobs: 0,
+                completed: 0,
+                skipped: 0,
+                sldwa_sum: 0.0,
+                switches: 0,
+                steps: 0,
+                exact: None,
+            });
+        }
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        let g = &mut groups[i % group_count];
+        g.shards += 1;
+        g.jobs += int(cell, "jobs");
+        g.completed += int(cell, "completed");
+        g.skipped += int(cell, "skipped");
+        g.sldwa_sum += num(cell, "sldwa");
+        g.switches += int(cell, "switches");
+        g.steps += int(cell, "steps");
+        if let Some(exact) = cell.get("exact") {
+            let e = g.exact.get_or_insert_with(ExactAggregate::default);
+            e.sampled += int(exact, "sampled");
+            e.compared += int(exact, "compared");
+            e.optimal += int(exact, "optimal");
+            e.budget_hit += int(exact, "budget_hit");
+            e.no_incumbent += int(exact, "no_incumbent");
+            e.quality_sum += num(exact, "quality_sum");
+            e.loss_sum += num(exact, "loss_sum");
+            e.nodes += int(exact, "nodes");
+            e.lp_iterations += int(exact, "lp_iterations");
+        }
+    }
+
+    // Per-shard blocks, in cell order.
+    let mut per_shard = Vec::with_capacity(n_shards);
+    for chunk in cells.chunks(group_count.max(1)) {
+        let Some(first) = chunk.first() else { continue };
+        per_shard.push(
+            JsonValue::object()
+                .with("shard", int(first, "shard"))
+                .with("from", int(first, "from"))
+                .with("to", int(first, "to"))
+                .with("jobs", int(first, "jobs"))
+                .with(
+                    "rows",
+                    JsonValue::Array(
+                        chunk
+                            .iter()
+                            .map(|cell| {
+                                JsonValue::object()
+                                    .with("selector", cell.get("selector").cloned().unwrap_or(JsonValue::Null))
+                                    .with("factor", num(cell, "factor"))
+                                    .with("sldwa", num(cell, "sldwa"))
+                                    .with("switches", int(cell, "switches"))
+                            })
+                            .collect(),
+                    ),
+                ),
+        );
+    }
+
+    let json = JsonValue::object()
+        .with("campaign", config.name.as_str())
+        .with("machine_size", config.machine_size)
+        .with("shard_seconds", config.shard_seconds)
+        .with("shards", n_shards)
+        .with("cells", cells.len())
+        .with(
+            "selectors",
+            JsonValue::Array(
+                config
+                    .selectors
+                    .iter()
+                    .map(|s| JsonValue::from(s.label()))
+                    .collect(),
+            ),
+        )
+        .with(
+            "factors",
+            JsonValue::Array(config.factors.iter().map(|&f| JsonValue::from(f)).collect()),
+        )
+        .with(
+            "overall",
+            JsonValue::Array(groups.iter().map(GroupAggregate::to_json).collect()),
+        )
+        .with("per_shard", JsonValue::Array(per_shard));
+
+    BuiltReport {
+        text: render_text(config, n_shards, cells, &groups),
+        json,
+    }
+}
+
+fn render_text(
+    config: &CampaignConfig,
+    n_shards: usize,
+    cells: &[JsonValue],
+    groups: &[GroupAggregate],
+) -> String {
+    let group_count = config.selectors.len() * config.factors.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign {} — machine {} nodes, {} shard(s) of {} s, {} cell(s)",
+        config.name,
+        config.machine_size,
+        n_shards,
+        config.shard_seconds,
+        cells.len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>6} {:>7} {:>9} {:>10} {:>9} {:>9} {:>8} {:>9} {:>10}",
+        "selector", "factor", "shards", "jobs", "SLDwA", "switches", "compared", "optimal", "quality", "loss%"
+    );
+    for g in groups {
+        let (compared, optimal, quality, loss) = match &g.exact {
+            Some(e) => (
+                e.compared.to_string(),
+                e.optimal.to_string(),
+                e.quality_mean().map(|q| format!("{q:.4}")).unwrap_or("-".into()),
+                e.loss_mean().map(|l| format!("{l:+.2}")).unwrap_or("-".into()),
+            ),
+            None => ("-".into(), "-".into(), "-".into(), "-".into()),
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>6.2} {:>7} {:>9} {:>10.4} {:>9} {:>9} {:>8} {:>9} {:>10}",
+            g.label,
+            g.factor,
+            g.shards,
+            g.jobs,
+            g.sldwa_mean(),
+            g.switches,
+            compared,
+            optimal,
+            quality,
+            loss
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(out, "per-shard SLDwA (rows: shards; columns: selector@factor):");
+    let mut header = format!("{:>7} {:>9}", "shard", "jobs");
+    for g in groups {
+        let _ = write!(header, " {:>22}", format!("{}@{:.2}", g.label, g.factor));
+    }
+    let _ = writeln!(out, "{header}");
+    for chunk in cells.chunks(group_count.max(1)) {
+        let Some(first) = chunk.first() else { continue };
+        let mut row = format!("{:>7} {:>9}", int(first, "shard"), int(first, "jobs"));
+        for cell in chunk {
+            let _ = write!(row, " {:>22.4}", num(cell, "sldwa"));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::SelectorSpec;
+    use dynp_sched::Policy;
+
+    fn cell(shard: u64, selector: &str, factor: f64, sldwa: f64) -> JsonValue {
+        JsonValue::object()
+            .with("shard", shard)
+            .with("from", shard * 100)
+            .with("to", (shard + 1) * 100)
+            .with("selector", selector)
+            .with("factor", factor)
+            .with("jobs", 10u64)
+            .with("completed", 10u64)
+            .with("skipped", 0u64)
+            .with("sldwa", sldwa)
+            .with("switches", 1u64)
+            .with("steps", 5u64)
+            .with(
+                "exact",
+                JsonValue::object()
+                    .with("sampled", 2u64)
+                    .with("compared", 2u64)
+                    .with("optimal", 1u64)
+                    .with("budget_hit", 1u64)
+                    .with("no_incumbent", 0u64)
+                    .with("quality_sum", 1.8f64)
+                    .with("loss_sum", 20.0f64)
+                    .with("nodes", 100u64)
+                    .with("lp_iterations", 1000u64),
+            )
+    }
+
+    fn test_config() -> CampaignConfig {
+        CampaignConfig::new("t", 64)
+            .with_selectors(vec![
+                SelectorSpec::Fixed(Policy::Fcfs),
+                SelectorSpec::dynp(),
+            ])
+            .with_factors(vec![1.0])
+    }
+
+    #[test]
+    fn aggregates_means_from_sums() {
+        let cells = vec![
+            cell(0, "FCFS", 1.0, 2.0),
+            cell(0, "dynP(SLDwA,simple)", 1.0, 1.5),
+            cell(1, "FCFS", 1.0, 4.0),
+            cell(1, "dynP(SLDwA,simple)", 1.0, 2.5),
+        ];
+        let built = build(&test_config(), 2, &cells);
+        let overall = built.json.get("overall").unwrap().as_array().unwrap();
+        assert_eq!(overall.len(), 2);
+        let fcfs = &overall[0];
+        assert_eq!(fcfs.get("selector").unwrap().as_str().unwrap(), "FCFS");
+        assert_eq!(fcfs.get("sldwa_mean").unwrap().as_f64().unwrap(), 3.0);
+        let exact = fcfs.get("exact").unwrap();
+        assert_eq!(exact.get("compared").unwrap().as_u64().unwrap(), 4);
+        assert_eq!(exact.get("quality_mean").unwrap().as_f64().unwrap(), 0.9);
+        // Both outputs mention every selector.
+        assert!(built.text.contains("FCFS"));
+        assert!(built.text.contains("dynP(SLDwA,simple)"));
+        dynp_obs::validate_json(&built.json.to_json()).unwrap();
+    }
+
+    #[test]
+    fn per_shard_blocks_follow_cell_order() {
+        let cells = vec![
+            cell(0, "FCFS", 1.0, 2.0),
+            cell(0, "dynP(SLDwA,simple)", 1.0, 1.5),
+            cell(3, "FCFS", 1.0, 4.0),
+            cell(3, "dynP(SLDwA,simple)", 1.0, 2.5),
+        ];
+        let built = build(&test_config(), 2, &cells);
+        let per_shard = built.json.get("per_shard").unwrap().as_array().unwrap();
+        assert_eq!(per_shard.len(), 2);
+        assert_eq!(per_shard[0].get("shard").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(per_shard[1].get("shard").unwrap().as_u64().unwrap(), 3);
+        let rows = per_shard[1].get("rows").unwrap().as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("sldwa").unwrap().as_f64().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn identical_cells_render_identical_bytes() {
+        let cells = vec![
+            cell(0, "FCFS", 1.0, 2.25),
+            cell(0, "dynP(SLDwA,simple)", 1.0, 1.125),
+        ];
+        let a = build(&test_config(), 1, &cells);
+        let b = build(&test_config(), 1, &cells);
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.json.to_json(), b.json.to_json());
+    }
+}

@@ -38,5 +38,7 @@ pub use compact::compact;
 pub use model::{Milp, Sense};
 pub use scaling::{TimeScaling, PAPER_MEMORY_BYTES, PAPER_X_BYTES};
 pub use simplex::{solve_lp, solve_lp_with_bounds, LpOutcome, LpSolution};
-pub use solve::{solve_snapshot, ExactRun, SolveConfig};
+pub use solve::{
+    solve_snapshot, ExactComparison, ExactRun, SolveConfig, SolveError, SolveIncomplete,
+};
 pub use timeindex::TimeIndexedModel;

@@ -10,8 +10,88 @@ use crate::compact::compact;
 use crate::scaling::{TimeScaling, PAPER_MEMORY_BYTES, PAPER_X_BYTES};
 use crate::timeindex::TimeIndexedModel;
 use dynp_sched::metrics::{performance_loss_percent, quality};
-use dynp_sched::{plan, Metric, Policy, Schedule, SchedulingProblem};
+use dynp_sched::{plan, Metric, PlanError, Policy, Schedule, SchedulingProblem};
 use std::time::{Duration, Instant};
+
+/// Why an exact solve could not run at all (as opposed to running out of
+/// budget, which still produces an [`ExactRun`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolveError {
+    /// The snapshot has no waiting jobs — there is nothing to compare.
+    EmptySnapshot,
+    /// The configuration names no baseline policies.
+    NoPolicies,
+    /// A policy schedule could not be planned (a job can never fit the
+    /// machine), so neither the baseline nor the ILP horizon exists.
+    Plan(PlanError),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::EmptySnapshot => {
+                write!(f, "empty snapshot: no waiting jobs to compare")
+            }
+            SolveError::NoPolicies => {
+                write!(f, "solve config lists no baseline policies")
+            }
+            SolveError::Plan(e) => write!(f, "policy baseline failed to plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for SolveError {
+    fn from(e: PlanError) -> SolveError {
+        SolveError::Plan(e)
+    }
+}
+
+/// The solve ran but its budget expired before any incumbent was found —
+/// the paper's "CPLEX is still computing" regime. Returned by
+/// [`ExactRun::comparison`] so consumers handle it as a value instead of
+/// unwrapping `Option`s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolveIncomplete {
+    /// Search status at exit (never [`MipStatus::Optimal`]).
+    pub status: MipStatus,
+    /// Nodes explored before the budget expired.
+    pub nodes: usize,
+}
+
+impl std::fmt::Display for SolveIncomplete {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exact solver still running: no incumbent after {} nodes ({:?})",
+            self.nodes, self.status
+        )
+    }
+}
+
+impl std::error::Error for SolveIncomplete {}
+
+/// The exact-vs-policy comparison of one finished solve, borrowed from an
+/// [`ExactRun`] that found an incumbent.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactComparison<'a> {
+    /// The compacted exact schedule.
+    pub schedule: &'a Schedule,
+    /// Its metric value.
+    pub exact_value: f64,
+    /// Eq. 7 quality of the best policy vs the exact schedule.
+    pub quality: f64,
+    /// `(1 - quality) * 100`.
+    pub perf_loss_percent: f64,
+}
 
 /// Configuration of one exact solve.
 #[derive(Clone, Debug)]
@@ -103,6 +183,27 @@ pub struct ExactRun {
 }
 
 impl ExactRun {
+    /// The exact side of the comparison, or [`SolveIncomplete`] when the
+    /// budget expired without an incumbent. This is the supported way to
+    /// consume `exact_schedule`/`quality`: the "CPLEX still running"
+    /// regime is a value, not a panic.
+    pub fn comparison(&self) -> Result<ExactComparison<'_>, SolveIncomplete> {
+        match (&self.exact_schedule, self.exact_value, self.quality, self.perf_loss_percent) {
+            (Some(schedule), Some(exact_value), Some(quality), Some(perf_loss_percent)) => {
+                Ok(ExactComparison {
+                    schedule,
+                    exact_value,
+                    quality,
+                    perf_loss_percent,
+                })
+            }
+            _ => Err(SolveIncomplete {
+                status: self.status,
+                nodes: self.nodes,
+            }),
+        }
+    }
+
     /// Scheduler *power* of the best basic policy: quality per compute
     /// second, the paper's §3 yardstick ("the physical definition of
     /// power, i.e. work per time unit, is well suited for measuring the
@@ -144,17 +245,25 @@ impl ExactRun {
 
 /// Runs the complete exact pipeline on one snapshot.
 ///
-/// # Panics
-/// Panics on an empty snapshot.
-pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> ExactRun {
-    assert!(!problem.is_empty(), "empty snapshot has no comparison");
+/// Errors are *input* defects ([`SolveError`]); a solve that merely runs
+/// out of budget still returns `Ok` with [`MipStatus::Feasible`] or
+/// [`MipStatus::Unknown`] — consume it via [`ExactRun::comparison`].
+pub fn solve_snapshot(
+    problem: &SchedulingProblem,
+    config: &SolveConfig,
+) -> Result<ExactRun, SolveError> {
+    if problem.is_empty() {
+        return Err(SolveError::EmptySnapshot);
+    }
+    if config.policies.is_empty() {
+        return Err(SolveError::NoPolicies);
+    }
     // 1. Policy schedules: baseline values and the §3.1 horizon.
     let plan_clock = Instant::now();
     let mut best: Option<(Policy, f64, Schedule)> = None;
     let mut horizon_end = problem.now;
     for &policy in &config.policies {
-        let schedule =
-            plan(problem, policy).expect("snapshot validated: every job fits the machine");
+        let schedule = plan(problem, policy)?;
         let value = config.metric.eval(problem, &schedule);
         if let Some(end) = schedule.makespan_end() {
             horizon_end = horizon_end.max(end);
@@ -168,7 +277,7 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
         }
     }
     let (best_policy, best_policy_value, best_schedule) =
-        best.expect("at least one policy configured");
+        best.expect("policy set checked non-empty above");
     let policy_plan_time = plan_clock.elapsed();
     let max_makespan = horizon_end - problem.now;
     let accumulated_runtime = problem.accumulated_runtime();
@@ -244,8 +353,8 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
             let schedule = if config.skip_compaction {
                 ti.slot_schedule(x, problem)
             } else {
-                compact(problem, &ti.start_order(x))
-                    .expect("snapshot validated: every job fits the machine")
+                // Every job planned under a policy above, so it fits.
+                compact(problem, &ti.start_order(x))?
             };
             debug_assert!(schedule.validate(problem).is_ok());
             let value = config.metric.eval(problem, &schedule);
@@ -256,7 +365,7 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
     let quality_ratio = exact_value.map(|ev| quality(config.metric, ev, best_policy_value));
     let loss = exact_value.map(|ev| performance_loss_percent(config.metric, ev, best_policy_value));
 
-    ExactRun {
+    Ok(ExactRun {
         jobs: problem.len(),
         max_makespan,
         accumulated_runtime,
@@ -276,7 +385,7 @@ pub fn solve_snapshot(problem: &SchedulingProblem, config: &SolveConfig) -> Exac
         exact_value,
         quality: quality_ratio,
         perf_loss_percent: loss,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -307,11 +416,10 @@ mod tests {
 
     #[test]
     fn exact_run_completes_and_reports() {
-        let run = solve_snapshot(&snapshot(), &config_fine());
+        let run = solve_snapshot(&snapshot(), &config_fine()).unwrap();
         assert_eq!(run.status, MipStatus::Optimal);
         assert_eq!(run.jobs, 4);
-        assert!(run.exact_schedule.is_some());
-        assert!(run.quality.is_some());
+        assert!(run.comparison().is_ok());
         assert_eq!(run.time_scale, 60);
         assert!(run.num_variables > 0);
     }
@@ -320,13 +428,14 @@ mod tests {
     fn exact_never_loses_to_policies_at_fine_scale() {
         // At 60 s scale with 60 s-multiple durations there is no grid loss:
         // the exact schedule must be at least as good as the best policy.
-        let run = solve_snapshot(&snapshot(), &config_fine());
-        let q = run.quality.unwrap();
+        let run = solve_snapshot(&snapshot(), &config_fine()).unwrap();
+        let cmp = run.comparison().expect("solved to optimality");
         assert!(
-            q <= 1.0 + 1e-9,
-            "exact worse than policy at lossless scale: quality {q}"
+            cmp.quality <= 1.0 + 1e-9,
+            "exact worse than policy at lossless scale: quality {}",
+            cmp.quality
         );
-        assert!(run.perf_loss_percent.unwrap() >= -1e-7);
+        assert!(cmp.perf_loss_percent >= -1e-7);
     }
 
     #[test]
@@ -337,14 +446,34 @@ mod tests {
             history,
             vec![Job::exact(0, 50, 2, 300), Job::exact(1, 80, 2, 300)],
         );
-        let run = solve_snapshot(&p, &config_fine());
+        let run = solve_snapshot(&p, &config_fine()).unwrap();
         assert_eq!(run.status, MipStatus::Optimal);
-        let s = run.exact_schedule.unwrap();
-        s.validate(&p).unwrap();
+        let cmp = run.comparison().expect("solved to optimality");
+        cmp.schedule.validate(&p).unwrap();
         // Only 1 resource free before t=500: neither width-2 job fits.
-        for e in s.entries() {
+        for e in cmp.schedule.entries() {
             assert!(e.start >= 500);
         }
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_typed_error_not_a_panic() {
+        let p = SchedulingProblem::on_empty_machine(0, 4, vec![]);
+        assert_eq!(
+            solve_snapshot(&p, &config_fine()).unwrap_err(),
+            SolveError::EmptySnapshot
+        );
+        let no_policies = SolveConfig {
+            policies: vec![],
+            ..config_fine()
+        };
+        assert_eq!(
+            solve_snapshot(&snapshot(), &no_policies).unwrap_err(),
+            SolveError::NoPolicies
+        );
+        // Errors render and chain like std errors.
+        let err = solve_snapshot(&p, &config_fine()).unwrap_err();
+        assert!(format!("{err}").contains("empty snapshot"));
     }
 
     #[test]
@@ -357,14 +486,14 @@ mod tests {
             scale_override: Some(1800),
             ..SolveConfig::default()
         };
-        let run = solve_snapshot(&snapshot(), &cfg);
+        let run = solve_snapshot(&snapshot(), &cfg).unwrap();
         assert_eq!(run.status, MipStatus::Optimal);
-        assert!(run.quality.is_some());
+        assert!(run.comparison().is_ok());
     }
 
     #[test]
     fn table_row_renders() {
-        let run = solve_snapshot(&snapshot(), &config_fine());
+        let run = solve_snapshot(&snapshot(), &config_fine()).unwrap();
         let row = run.table_row();
         assert!(row.contains('%'));
         assert!(row.trim().starts_with('4'));
@@ -383,10 +512,12 @@ mod tests {
             use_heuristic: false,
             ..SolveConfig::default()
         };
-        let run = solve_snapshot(&snapshot(), &cfg);
+        let run = solve_snapshot(&snapshot(), &cfg).unwrap();
         assert_eq!(run.status, MipStatus::Unknown);
-        assert!(run.exact_schedule.is_none());
-        assert!(run.quality.is_none());
+        // "CPLEX still running" is a value, not a panic.
+        let incomplete = run.comparison().unwrap_err();
+        assert_eq!(incomplete.status, MipStatus::Unknown);
+        assert!(format!("{incomplete}").contains("still running"));
         // Policy side is always available.
         assert!(run.best_policy_value > 0.0);
     }
@@ -401,15 +532,15 @@ mod tests {
             },
             ..SolveConfig::default()
         };
-        let run = solve_snapshot(&snapshot(), &cfg);
+        let run = solve_snapshot(&snapshot(), &cfg).unwrap();
         // The seed (best policy embedded in the grid) is the incumbent.
         assert_eq!(run.status, MipStatus::Feasible);
-        assert!(run.exact_schedule.is_some());
+        assert!(run.comparison().is_ok());
     }
 
     #[test]
     fn default_config_uses_eq6() {
-        let run = solve_snapshot(&snapshot(), &SolveConfig::default());
+        let run = solve_snapshot(&snapshot(), &SolveConfig::default()).unwrap();
         // Tiny instance: Eq. 6 gives the minimum one-minute scale.
         assert_eq!(run.time_scale, 60);
         assert_eq!(run.status, MipStatus::Optimal);

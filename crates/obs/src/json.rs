@@ -1,9 +1,11 @@
 //! Hand-rolled JSON: escaping, a small value builder for report files,
-//! and a strict serde-free validator used by tests to check that every
-//! emitted JSONL line is well-formed.
+//! a strict serde-free parser, and a validator used by tests to check
+//! that every emitted JSONL line is well-formed.
 //!
 //! The builder intentionally keeps object keys in insertion order so
-//! result files diff cleanly across runs.
+//! result files diff cleanly across runs, and [`parse`] round-trips
+//! exactly what the builder writes — the experiment campaign runner
+//! relies on this to read its JSONL checkpoint records back.
 
 use std::fmt::Write as _;
 
@@ -108,6 +110,65 @@ impl JsonValue {
         };
         items.push(value.into());
         self
+    }
+
+    /// The value under `key` (objects only; `None` otherwise or when the
+    /// key is absent).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer (rejects negatives,
+    /// fractions, and anything beyond exact `f64` integer range).
+    pub fn as_u64(&self) -> Option<u64> {
+        let v = self.as_f64()?;
+        (v >= 0.0 && v <= 2f64.powi(53) && v.fract() == 0.0).then_some(v as u64)
+    }
+
+    /// The boolean payload, when this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The `(key, value)` entries in insertion order, when this is an
+    /// object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(entries) => Some(entries),
+            _ => None,
+        }
     }
 
     /// Serializes compactly (single line).
@@ -246,19 +307,30 @@ impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
     }
 }
 
-/// Validates that `input` is exactly one well-formed JSON value
-/// (RFC 8259 grammar; numbers, strings with escapes, nesting). Returns
-/// the byte offset of the first error.
-pub fn validate(input: &str) -> Result<(), String> {
+/// Parses `input` as exactly one well-formed JSON value (RFC 8259
+/// grammar; numbers, strings with escapes, nesting). Errors carry the
+/// byte offset of the first problem.
+///
+/// Duplicate object keys keep the *last* value (matching
+/// [`JsonValue::set`] semantics), and `\uXXXX` escapes decode surrogate
+/// pairs; an unpaired surrogate becomes U+FFFD rather than an error, so
+/// any line the validator accepts also parses.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
     let bytes = input.as_bytes();
     let mut pos = 0usize;
     skip_ws(bytes, &mut pos);
-    parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
     }
-    Ok(())
+    Ok(value)
+}
+
+/// Validates that `input` is exactly one well-formed JSON value.
+/// Equivalent to [`parse`] with the value discarded.
+pub fn validate(input: &str) -> Result<(), String> {
+    parse(input).map(|_| ())
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
@@ -267,15 +339,15 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     match bytes.get(*pos) {
         None => Err(format!("unexpected end of input at byte {pos}")),
         Some(b'{') => parse_object(bytes, pos),
         Some(b'[') => parse_array(bytes, pos),
-        Some(b'"') => parse_string(bytes, pos),
-        Some(b't') => parse_literal(bytes, pos, b"true"),
-        Some(b'f') => parse_literal(bytes, pos, b"false"),
-        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b't') => parse_literal(bytes, pos, b"true").map(|_| JsonValue::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false").map(|_| JsonValue::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, b"null").map(|_| JsonValue::Null),
         Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(bytes, pos),
         Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
     }
@@ -290,82 +362,116 @@ fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &[u8]) -> Result<(), String
     }
 }
 
-fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '{'
+    let mut object = JsonValue::object();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return Ok(());
+        return Ok(object);
     }
     loop {
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b'"') {
             return Err(format!("expected object key at byte {pos}"));
         }
-        parse_string(bytes, pos)?;
+        let key = parse_string(bytes, pos)?;
         skip_ws(bytes, pos);
         if bytes.get(*pos) != Some(&b':') {
             return Err(format!("expected ':' at byte {pos}"));
         }
         *pos += 1;
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        let value = parse_value(bytes, pos)?;
+        object.set(&key, value);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(object);
             }
             _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
         }
     }
 }
 
-fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // consume '['
+    let mut items = Vec::new();
     skip_ws(bytes, pos);
     if bytes.get(*pos) == Some(&b']') {
         *pos += 1;
-        return Ok(());
+        return Ok(JsonValue::Array(items));
     }
     loop {
         skip_ws(bytes, pos);
-        parse_value(bytes, pos)?;
+        items.push(parse_value(bytes, pos)?);
         skip_ws(bytes, pos);
         match bytes.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return Ok(());
+                return Ok(JsonValue::Array(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {pos}")),
         }
     }
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
     *pos += 1; // consume '"'
+    let mut out = String::new();
+    let mut run_start = *pos; // unescaped byte run, copied in one go
     while let Some(&c) = bytes.get(*pos) {
         match c {
             b'"' => {
+                out.push_str(str_run(bytes, run_start, *pos));
                 *pos += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
+                out.push_str(str_run(bytes, run_start, *pos));
                 *pos += 1;
                 match bytes.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        if bytes.len() < *pos + 5
-                            || !bytes[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        let hi = parse_hex4(bytes, pos)?;
+                        // High surrogate: try to pair with a following
+                        // \uXXXX low surrogate.
+                        if (0xD800..0xDC00).contains(&hi)
+                            && bytes.get(*pos + 1) == Some(&b'\\')
+                            && bytes.get(*pos + 2) == Some(&b'u')
                         {
-                            return Err(format!("bad \\u escape at byte {pos}"));
+                            let mut lookahead = *pos + 2;
+                            let lo = parse_hex4(bytes, &mut lookahead)?;
+                            if (0xDC00..0xE000).contains(&lo) {
+                                *pos = lookahead;
+                                let cp =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                out.push(
+                                    char::from_u32(cp).unwrap_or(char::REPLACEMENT_CHARACTER),
+                                );
+                            } else {
+                                out.push(char::REPLACEMENT_CHARACTER);
+                            }
+                        } else {
+                            out.push(
+                                char::from_u32(hi).unwrap_or(char::REPLACEMENT_CHARACTER),
+                            );
                         }
-                        *pos += 5;
                     }
                     _ => return Err(format!("bad escape at byte {pos}")),
                 }
+                *pos += 1;
+                run_start = *pos;
             }
             c if c < 0x20 => return Err(format!("raw control byte {c:#x} in string at {pos}")),
             _ => *pos += 1,
@@ -374,7 +480,24 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
     Err("unterminated string".to_string())
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+/// The validated-UTF-8 slice `bytes[from..to]` (input is a `&str`, and
+/// runs only break at ASCII delimiters, so this cannot split a char).
+fn str_run(bytes: &[u8], from: usize, to: usize) -> &str {
+    std::str::from_utf8(&bytes[from..to]).expect("runs split only at ASCII bytes")
+}
+
+/// Parses the `XXXX` of a `\uXXXX` escape; `pos` points at the `u` on
+/// entry and at the last hex digit on exit.
+fn parse_hex4(bytes: &[u8], pos: &mut usize) -> Result<u32, String> {
+    if bytes.len() < *pos + 5 || !bytes[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit) {
+        return Err(format!("bad \\u escape at byte {pos}"));
+    }
+    let hex = str_run(bytes, *pos + 1, *pos + 5);
+    *pos += 4;
+    u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u escape at byte {pos}: {e}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -402,7 +525,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
             return Err(format!("missing exponent digits at byte {pos}"));
         }
     }
-    Ok(())
+    let text = str_run(bytes, start, *pos);
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|e| format!("unrepresentable number at byte {start}: {e}"))
 }
 
 fn eat_digits(bytes: &[u8], pos: &mut usize) -> usize {
@@ -479,6 +605,64 @@ mod tests {
         ] {
             validate(ok).unwrap_or_else(|e| panic!("{ok:?} rejected: {e}"));
         }
+    }
+
+    #[test]
+    fn parse_round_trips_builder_output() {
+        let v = JsonValue::object()
+            .with("b", 1u64)
+            .with("a", "x\ny")
+            .with("list", vec![1.5f64, -2.0, 3.0])
+            .with("none", JsonValue::Null)
+            .with("flag", true)
+            .with("nested", JsonValue::object().with("k", 0.1f64));
+        let parsed = parse(&v.to_json()).unwrap();
+        assert_eq!(parsed, v);
+        // Pretty output parses to the same value too.
+        assert_eq!(parse(&v.to_json_pretty()).unwrap(), v);
+        // And re-serializing the parse is byte-identical (key order kept,
+        // shortest-round-trip numbers).
+        assert_eq!(parsed.to_json(), v.to_json());
+    }
+
+    #[test]
+    fn parse_decodes_escapes_and_surrogates() {
+        assert_eq!(
+            parse(r#""a\"b\\c\né""#).unwrap(),
+            JsonValue::Str("a\"b\\c\né".to_string())
+        );
+        // Surrogate pair -> one astral char.
+        assert_eq!(
+            parse(r#""😀""#).unwrap(),
+            JsonValue::Str("😀".to_string())
+        );
+        // Lone surrogate degrades to U+FFFD instead of erroring.
+        assert_eq!(
+            parse(r#""\ud83d!""#).unwrap(),
+            JsonValue::Str("\u{FFFD}!".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_keeps_last_duplicate_key() {
+        let v = parse(r#"{"k": 1, "k": 2}"#).unwrap();
+        assert_eq!(v.get("k").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn accessors_narrow_types() {
+        let v = parse(r#"{"n": 3, "f": 2.5, "s": "x", "b": false, "a": [1], "neg": -1}"#)
+            .unwrap();
+        assert_eq!(v.get("n").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(v.get("f").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("neg").and_then(JsonValue::as_u64), None);
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("b").and_then(JsonValue::as_bool), Some(false));
+        assert_eq!(v.get("a").and_then(JsonValue::as_array).map(<[_]>::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.as_object().map(<[_]>::len), Some(6));
+        assert!(JsonValue::Null.get("k").is_none());
     }
 
     #[test]

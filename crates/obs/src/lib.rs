@@ -37,6 +37,6 @@ pub mod json;
 pub mod metrics;
 mod recorder;
 
-pub use json::JsonValue;
+pub use json::{parse as parse_json, validate as validate_json, JsonValue};
 pub use metrics::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
 pub use recorder::{install, recorder, EventBuilder, Recorder, Sink, Span};

@@ -83,25 +83,36 @@ pub struct SimSummary {
 }
 
 impl SimSummary {
-    /// Computes the summary for `records` on a machine of `capacity`.
-    /// Returns an all-zero summary for an empty record set.
-    pub fn compute(records: &[JobRecord], capacity: u32) -> SimSummary {
-        if records.is_empty() {
-            return SimSummary {
-                jobs: 0,
-                makespan_end: 0,
-                avg_response: 0.0,
-                artww: 0.0,
-                avg_wait: 0.0,
-                avg_slowdown: 0.0,
-                sldwa: 0.0,
-                avg_bounded_slowdown: 0.0,
-                utilization: 0.0,
-            };
+    /// The all-zero summary of an empty record set.
+    pub fn empty() -> SimSummary {
+        SimSummary {
+            jobs: 0,
+            makespan_end: 0,
+            avg_response: 0.0,
+            artww: 0.0,
+            avg_wait: 0.0,
+            avg_slowdown: 0.0,
+            sldwa: 0.0,
+            avg_bounded_slowdown: 0.0,
+            utilization: 0.0,
         }
+    }
+
+    /// Computes the summary for `records` on a machine of `capacity`.
+    /// Returns [`SimSummary::empty`] for an empty record set — callers
+    /// that must treat an empty run as a failure (the campaign runner
+    /// does) check emptiness *before* simulating, so this path stays
+    /// panic-free.
+    pub fn compute(records: &[JobRecord], capacity: u32) -> SimSummary {
+        // Structurally unwrap-free: the span is derived in one pass and
+        // its absence (no records) yields the zero summary.
+        let Some((first_submit, last_end)) = records.iter().fold(None, |acc, r| match acc {
+            None => Some((r.submit, r.end)),
+            Some((lo, hi)) => Some((lo.min(r.submit), hi.max(r.end))),
+        }) else {
+            return SimSummary::empty();
+        };
         let n = records.len() as f64;
-        let first_submit = records.iter().map(|r| r.submit).min().unwrap();
-        let last_end = records.iter().map(|r| r.end).max().unwrap();
         let mut resp_sum = 0.0;
         let mut artww_num = 0.0;
         let mut artww_den = 0.0;

@@ -9,7 +9,13 @@ use dynp_sched::Policy;
 use dynp_trace::Job;
 
 /// Configuration of one simulation run.
+///
+/// Construct with [`SimConfig::new`] (or [`SimConfig::default`] for the
+/// paper's 430-node CTC machine) and refine with the `with_*` builders.
+/// The struct is `#[non_exhaustive]` so new knobs — the experiment
+/// campaign runner grows them regularly — are not breaking changes.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Machine size in resources (CTC: 430).
     pub machine_size: u32,
@@ -18,6 +24,14 @@ pub struct SimConfig {
     pub tune_on_finish: bool,
     /// Collect quasi-off-line snapshots matching this filter.
     pub snapshots: Option<SnapshotFilter>,
+}
+
+impl Default for SimConfig {
+    /// The paper's machine: 430 nodes, submission-only tuning, no
+    /// snapshot collection.
+    fn default() -> SimConfig {
+        SimConfig::new(430)
+    }
 }
 
 impl SimConfig {
@@ -33,6 +47,13 @@ impl SimConfig {
     /// Enables snapshot collection.
     pub fn with_snapshots(mut self, filter: SnapshotFilter) -> SimConfig {
         self.snapshots = Some(filter);
+        self
+    }
+
+    /// Also runs a self-tuning step when a job completes (the paper tunes
+    /// on submissions only, so `false` is the default).
+    pub fn with_tune_on_finish(mut self, tune_on_finish: bool) -> SimConfig {
+        self.tune_on_finish = tune_on_finish;
         self
     }
 }

@@ -64,6 +64,30 @@ pub fn scale_interarrival(jobs: &[Job], factor: f64) -> Vec<Job> {
     sorted
 }
 
+/// Re-estimates every job as `factor ×` its *actual* runtime (rounded,
+/// floored at 1 s): the over-estimation axis of the paper's §4 sweeps,
+/// where users request `factor` times what their job really needs.
+///
+/// `factor = 1` makes estimates exact; larger factors inflate the
+/// planner's view of the queue without changing the delivered work. A
+/// factor below 1 would make planning-based RMSs *kill* jobs at the
+/// (now too short) estimate, silently changing the workload, so it is
+/// rejected.
+///
+/// # Panics
+/// Panics when `factor < 1`.
+pub fn overestimate(jobs: &[Job], factor: f64) -> Vec<Job> {
+    assert!(factor >= 1.0, "over-estimation factor must be >= 1");
+    jobs.iter()
+        .map(|j| Job {
+            estimated_duration: ((j.actual_duration as f64 * factor).round() as u64)
+                .max(j.actual_duration)
+                .max(1),
+            ..*j
+        })
+        .collect()
+}
+
 /// Clamps every width to `machine_size` — used when replaying a trace on a
 /// smaller machine than it was recorded on.
 pub fn clamp_widths(jobs: &[Job], machine_size: u32) -> Vec<Job> {
@@ -169,6 +193,27 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn scale_interarrival_rejects_zero() {
         scale_interarrival(&sample(), 0.0);
+    }
+
+    #[test]
+    fn overestimate_scales_estimates_only() {
+        let jobs = vec![Job::new(0, 0, 2, 100, 100), Job::new(1, 10, 4, 50, 30)];
+        let o = overestimate(&jobs, 3.0);
+        assert_eq!(o[0].estimated_duration, 300);
+        assert_eq!(o[0].actual_duration, 100);
+        // Factor applies to the *actual* runtime, replacing the old
+        // estimate entirely.
+        assert_eq!(o[1].estimated_duration, 90);
+        assert_eq!(o[1].actual_duration, 30);
+        // Identity factor pins estimates to actuals.
+        let exact = overestimate(&jobs, 1.0);
+        assert_eq!(exact[1].estimated_duration, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn overestimate_rejects_underestimation() {
+        overestimate(&sample(), 0.5);
     }
 
     #[test]

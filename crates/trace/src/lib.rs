@@ -15,7 +15,9 @@
 //! * [`stats`] — summary statistics over job sets (interarrival times, width
 //!   and runtime distributions) used to sanity-check generated workloads,
 //! * [`filter`] — windowing and rescaling helpers for carving experiment
-//!   slices out of long traces.
+//!   slices out of long traces,
+//! * [`shard`] — the paper's weekly-slice protocol: a lazy iterator over
+//!   fixed-length trace windows for batch experiment campaigns.
 //!
 //! All times are integer **seconds** (`u64`), matching the paper's "the
 //! smallest time step in resource management systems is usually one second".
@@ -23,12 +25,14 @@
 pub mod filter;
 pub mod job;
 pub mod lublin;
+pub mod shard;
 pub mod stats;
 pub mod swf;
 pub mod synth;
 
 pub use job::{Job, JobId};
 pub use lublin::LublinModel;
+pub use shard::{shards, ShardIter, TraceShard, WEEK_SECONDS};
 pub use stats::TraceStats;
 pub use swf::{SwfError, SwfJob, SwfTrace};
 pub use synth::{CtcModel, SyntheticTrace, WorkloadModel};

@@ -1,0 +1,173 @@
+//! Slicing a long trace into fixed-length experiment shards.
+//!
+//! The paper's evaluation protocol (§4) sweeps *weekly slices* of the CTC
+//! trace: each week is replayed as an independent experiment and the
+//! per-week results are aggregated into the comparison tables. [`shards`]
+//! produces exactly those slices — half-open `[k·len, (k+1)·len)` windows
+//! anchored at the first submission — lazily, re-based to time 0 like
+//! [`crate::filter::window`], so shards from different trace regions are
+//! directly comparable.
+
+use crate::filter::rebase;
+use crate::job::{sort_by_submit, Job};
+
+/// Seconds in the paper's shard unit: one week.
+pub const WEEK_SECONDS: u64 = 604_800;
+
+/// One experiment slice of a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceShard {
+    /// Absolute window index from the trace start (`0` = first window).
+    /// Indices of empty windows are skipped but never reused, so the
+    /// index identifies the same calendar window across runs.
+    pub index: usize,
+    /// Window start in original trace time (inclusive).
+    pub from: u64,
+    /// Window end in original trace time (exclusive).
+    pub to: u64,
+    /// The window's jobs, re-based to submit at 0 and renumbered.
+    pub jobs: Vec<Job>,
+}
+
+/// Lazy iterator over the non-empty shards of a trace. See [`shards`].
+#[derive(Clone, Debug)]
+pub struct ShardIter {
+    sorted: Vec<Job>,
+    cursor: usize,
+    base: u64,
+    shard_seconds: u64,
+    next_index: usize,
+}
+
+impl Iterator for ShardIter {
+    type Item = TraceShard;
+
+    fn next(&mut self) -> Option<TraceShard> {
+        while self.cursor < self.sorted.len() {
+            // The window holding the next unconsumed job: empty windows
+            // in between are skipped (their indices stay vacant).
+            let offset = self.sorted[self.cursor].submit - self.base;
+            let index = (offset / self.shard_seconds) as usize;
+            let index = index.max(self.next_index);
+            let from = self.base + index as u64 * self.shard_seconds;
+            let to = from + self.shard_seconds;
+            let mut jobs = Vec::new();
+            while self.cursor < self.sorted.len() && self.sorted[self.cursor].submit < to {
+                jobs.push(self.sorted[self.cursor]);
+                self.cursor += 1;
+            }
+            self.next_index = index + 1;
+            if jobs.is_empty() {
+                continue;
+            }
+            rebase(&mut jobs);
+            return Some(TraceShard {
+                index,
+                from,
+                to,
+                jobs,
+            });
+        }
+        None
+    }
+}
+
+/// Iterates over the non-empty `shard_seconds`-long windows of `jobs`,
+/// anchored at the earliest submission. Use [`WEEK_SECONDS`] for the
+/// paper's weekly protocol.
+///
+/// # Panics
+/// Panics when `shard_seconds == 0`.
+pub fn shards(jobs: &[Job], shard_seconds: u64) -> ShardIter {
+    assert!(shard_seconds > 0, "shard length must be positive");
+    let mut sorted = jobs.to_vec();
+    sort_by_submit(&mut sorted);
+    let base = sorted.first().map(|j| j.submit).unwrap_or(0);
+    ShardIter {
+        sorted,
+        cursor: 0,
+        base,
+        shard_seconds,
+        next_index: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn job(id: u32, submit: u64) -> Job {
+        Job::exact(id, submit, 1, 60)
+    }
+
+    #[test]
+    fn splits_at_window_boundaries() {
+        let jobs = vec![job(0, 100), job(1, 599), job(2, 600), job(3, 1100)];
+        let got: Vec<TraceShard> = shards(&jobs, 500).collect();
+        // Anchored at the first submission (100): windows [100,600),
+        // [600,1100), [1100,1600).
+        assert_eq!(got.len(), 3);
+        assert_eq!((got[0].index, got[0].from, got[0].to), (0, 100, 600));
+        assert_eq!(got[0].jobs.len(), 2);
+        assert_eq!((got[1].index, got[1].from, got[1].to), (1, 600, 1100));
+        assert_eq!(got[1].jobs.len(), 1);
+        assert_eq!((got[2].index, got[2].from, got[2].to), (2, 1100, 1600));
+        assert_eq!(got[2].jobs.len(), 1);
+    }
+
+    #[test]
+    fn shards_are_rebased_and_renumbered() {
+        let jobs = vec![job(7, 1000), job(9, 1200)];
+        let got: Vec<TraceShard> = shards(&jobs, 600).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].jobs[0].submit, 0);
+        assert_eq!(got[0].jobs[1].submit, 200);
+        assert_eq!(got[0].jobs[0].id, JobId(0));
+        assert_eq!(got[0].jobs[1].id, JobId(1));
+    }
+
+    #[test]
+    fn empty_windows_are_skipped_but_keep_indices() {
+        // A gap of 3 windows between the two bursts.
+        let jobs = vec![job(0, 0), job(1, 4_050), job(2, 4_060)];
+        let got: Vec<TraceShard> = shards(&jobs, 1_000).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].index, 0);
+        assert_eq!(got[1].index, 4);
+        assert_eq!(got[1].from, 4_000);
+    }
+
+    #[test]
+    fn empty_trace_yields_nothing() {
+        assert_eq!(shards(&[], WEEK_SECONDS).count(), 0);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let jobs = vec![job(0, 900), job(1, 100), job(2, 500)];
+        let got: Vec<TraceShard> = shards(&jobs, 10_000).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].jobs.len(), 3);
+        assert!(got[0].jobs.windows(2).all(|w| w[0].submit <= w[1].submit));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_shard_length_rejected() {
+        let _ = shards(&[], 0);
+    }
+
+    #[test]
+    fn week_protocol_covers_a_multi_week_trace() {
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| job(i, i as u64 * (WEEK_SECONDS / 10)))
+            .collect();
+        let got: Vec<TraceShard> = shards(&jobs, WEEK_SECONDS).collect();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.iter().map(|s| s.jobs.len()).sum::<usize>(), 30);
+        for s in &got {
+            assert_eq!(s.to - s.from, WEEK_SECONDS);
+        }
+    }
+}

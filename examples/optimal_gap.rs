@@ -11,7 +11,7 @@ use dynp_rs::milp::{solve_snapshot, SolveConfig};
 use dynp_rs::prelude::*;
 use dynp_rs::sched::metrics::quality;
 
-fn main() {
+fn main() -> Result<(), dynp_rs::Error> {
     // A contended snapshot: 3 of 16 nodes still busy, 8 waiting jobs with
     // very mixed shapes (this is where policy choice matters).
     let history = MachineHistory::build(16, 0, &[(3, 1_700)]);
@@ -59,7 +59,7 @@ fn main() {
         },
         ..SolveConfig::default()
     };
-    let run = solve_snapshot(&problem, &config);
+    let run = solve_snapshot(&problem, &config)?;
     println!(
         "  model: {} variables, {} constraints, scale {} s",
         run.num_variables, run.num_constraints, run.time_scale
@@ -71,7 +71,16 @@ fn main() {
         run.lp_iterations,
         run.solve_time.as_secs_f64()
     );
-    let exact = run.exact_value.expect("solved");
+    // The supported way to read the exact side: `comparison()` is `Err`
+    // when the budget expired without an incumbent ("CPLEX still
+    // running"), which is an outcome, not a crash.
+    let exact = match run.comparison() {
+        Ok(cmp) => cmp.exact_value,
+        Err(incomplete) => {
+            println!("  {incomplete}; raise the node budget to compare");
+            return Ok(());
+        }
+    };
     println!("  exact SLDwA (after compaction): {exact:.3}");
 
     println!();
@@ -94,4 +103,5 @@ fn main() {
         run.best_policy,
         quality(Metric::SldwA, exact, run.best_policy_value)
     );
+    Ok(())
 }

@@ -6,12 +6,14 @@
 //! depend on a single crate:
 //!
 //! * [`trace`] — job model, SWF traces, the synthetic CTC workload,
+//!   weekly trace shards,
 //! * [`platform`] — machine, availability profile, machine history,
 //! * [`sched`] — planning-based schedules, FCFS/SJF/LJF, metrics,
 //! * [`des`] — the discrete-event simulation kernel,
 //! * [`dynp`] — the self-tuning dynP scheduler (deciders, tuner),
 //! * [`sim`] — the RMS simulator replaying traces,
 //! * [`milp`] — the exact time-indexed ILP solver (the CPLEX substitute),
+//! * [`exp`] — parallel, resumable experiment campaigns over trace shards,
 //! * [`obs`] — metrics, span timing, and the JSONL event log.
 //!
 //! # Quickstart
@@ -32,9 +34,17 @@
 //! assert_eq!(run.records.len(), 50);
 //! println!("{}", run.summary);
 //! ```
+//!
+//! # Errors
+//!
+//! Fallible entry points return typed errors ([`sched::PlanError`],
+//! [`milp::SolveError`], [`trace::SwfError`], [`exp::CampaignError`]);
+//! the workspace-level [`enum@Error`] unifies them for applications that
+//! drive several subsystems behind one `?`.
 
 pub use dynp_core as dynp;
 pub use dynp_des as des;
+pub use dynp_exp as exp;
 pub use dynp_milp as milp;
 pub use dynp_obs as obs;
 pub use dynp_platform as platform;
@@ -42,12 +52,104 @@ pub use dynp_sched as sched;
 pub use dynp_sim as sim;
 pub use dynp_trace as trace;
 
+/// Workspace-wide error umbrella: every typed error a `dynp-rs` entry
+/// point can return, unified so applications can use one `Result` type
+/// across planning, exact solving, trace I/O, and campaigns.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Planning a policy schedule failed ([`sched::PlanError`]).
+    Plan(sched::PlanError),
+    /// An exact solve could not run ([`milp::SolveError`]).
+    Solve(milp::SolveError),
+    /// Reading or writing an SWF trace failed ([`trace::SwfError`]).
+    Swf(trace::SwfError),
+    /// An experiment campaign could not run ([`exp::CampaignError`]).
+    Campaign(exp::CampaignError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Plan(e) => write!(f, "planning failed: {e}"),
+            Error::Solve(e) => write!(f, "exact solve failed: {e}"),
+            Error::Swf(e) => write!(f, "swf trace failed: {e}"),
+            Error::Campaign(e) => write!(f, "campaign failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Plan(e) => Some(e),
+            Error::Solve(e) => Some(e),
+            Error::Swf(e) => Some(e),
+            Error::Campaign(e) => Some(e),
+        }
+    }
+}
+
+impl From<sched::PlanError> for Error {
+    fn from(e: sched::PlanError) -> Error {
+        Error::Plan(e)
+    }
+}
+
+impl From<milp::SolveError> for Error {
+    fn from(e: milp::SolveError) -> Error {
+        Error::Solve(e)
+    }
+}
+
+impl From<trace::SwfError> for Error {
+    fn from(e: trace::SwfError) -> Error {
+        Error::Swf(e)
+    }
+}
+
+impl From<exp::CampaignError> for Error {
+    fn from(e: exp::CampaignError) -> Error {
+        Error::Campaign(e)
+    }
+}
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::Error;
     pub use dynp_core::{Decider, FixedPolicy, PolicySelector, SelfTuning};
-    pub use dynp_milp::{solve_snapshot, BranchLimits, SolveConfig, TimeScaling};
+    pub use dynp_exp::{
+        run_campaign, CampaignConfig, CampaignError, CampaignOutcome, ExactConfig, SelectorSpec,
+    };
+    pub use dynp_milp::{
+        solve_snapshot, BranchLimits, ExactRun, SolveConfig, SolveError, TimeScaling,
+    };
     pub use dynp_platform::{Machine, MachineHistory, ResourceProfile};
-    pub use dynp_sched::{plan, Metric, Policy, Reservation, Schedule, SchedulingProblem};
-    pub use dynp_sim::{simulate, simulate_queue, QueueDiscipline, SimConfig, SnapshotFilter};
-    pub use dynp_trace::{CtcModel, Job, JobId, SwfTrace, TraceStats, WorkloadModel};
+    pub use dynp_sched::{
+        plan, Metric, PlanError, Policy, Reservation, Schedule, SchedulingProblem,
+    };
+    pub use dynp_sim::{
+        simulate, simulate_queue, QueueDiscipline, SimConfig, SimRun, SimSummary, SnapshotFilter,
+        SnapshotLog,
+    };
+    pub use dynp_trace::{
+        shards, CtcModel, Job, JobId, SwfTrace, TraceShard, TraceStats, WorkloadModel,
+        WEEK_SECONDS,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn umbrella_error_wraps_and_displays_every_subsystem() {
+        let solve: Error = milp::SolveError::EmptySnapshot.into();
+        assert!(solve.to_string().contains("empty snapshot"));
+        let campaign: Error = exp::CampaignError::EmptyTrace.into();
+        assert!(campaign.to_string().contains("empty"));
+        // source() chains to the inner error.
+        let inner = std::error::Error::source(&campaign).unwrap();
+        assert!(inner.to_string().contains("empty"));
+    }
 }

@@ -1,0 +1,130 @@
+//! Crash-resume determinism of experiment campaigns (the tentpole
+//! guarantee): killing a campaign mid-sweep and re-launching it must skip
+//! the surviving cells and produce a final report **byte-identical** to
+//! an uninterrupted run.
+
+use dynp_rs::exp::checkpoint;
+use dynp_rs::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "dynp_resume_{}_{}_{}",
+        tag,
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn campaign_trace() -> Vec<Job> {
+    // ~3 weeks at a load the 64-node machine can absorb: saturating it
+    // grows the backlog (and the planner's work) quadratically, which a
+    // debug-mode test cannot afford.
+    let model = CtcModel {
+        nodes: 64,
+        mean_interarrival: 6_000.0,
+        ..CtcModel::default()
+    };
+    model.generate(300, 7).jobs
+}
+
+fn config(dir: &std::path::Path) -> CampaignConfig {
+    CampaignConfig::new("resume", 64)
+        .with_shard_seconds(WEEK_SECONDS / 2)
+        .with_selectors(vec![
+            SelectorSpec::Fixed(Policy::Fcfs),
+            SelectorSpec::Fixed(Policy::Sjf),
+            SelectorSpec::dynp(),
+        ])
+        .with_factors(vec![1.0, 2.0])
+        .with_exact(Some(
+            ExactConfig::new()
+                .with_job_range(2, 8)
+                .with_max_snapshots(1)
+                .with_node_budget(150),
+        ))
+        .with_output_dir(dir)
+}
+
+#[test]
+fn interrupted_campaign_resumes_to_a_byte_identical_report() {
+    let jobs = campaign_trace();
+
+    // Reference: one uninterrupted run.
+    let dir_a = unique_dir("full");
+    let full = run_campaign(&jobs, &config(&dir_a)).expect("campaign runs");
+    assert!(full.cells_total >= 12, "trace too small: {}", full.cells_total);
+    let report_json = std::fs::read(&full.report_json_path).unwrap();
+    let report_text = std::fs::read(&full.report_text_path).unwrap();
+
+    // Crash victim: run fully, then simulate dying mid-sweep by cutting
+    // the checkpoint down to its first half and appending the torn tail
+    // of a record (the write the "crash" interrupted). Reports vanish
+    // with the crash too.
+    let dir_b = unique_dir("crash");
+    let first = run_campaign(&jobs, &config(&dir_b)).expect("campaign runs");
+    let checkpoint_path = first.checkpoint_path.clone();
+    let lines: Vec<String> = std::fs::read_to_string(&checkpoint_path)
+        .unwrap()
+        .lines()
+        .map(String::from)
+        .collect();
+    assert_eq!(lines.len(), first.cells_total);
+    let keep = lines.len() / 2;
+    let mut truncated = lines[..keep].join("\n");
+    truncated.push('\n');
+    let torn = &lines[keep][..lines[keep].len() / 2];
+    truncated.push_str(torn); // no trailing newline: a torn write
+    std::fs::write(&checkpoint_path, truncated).unwrap();
+    std::fs::remove_file(&first.report_json_path).unwrap();
+    std::fs::remove_file(&first.report_text_path).unwrap();
+
+    // Relaunch against the mutilated checkpoint.
+    let resumed = run_campaign(&jobs, &config(&dir_b)).expect("resume runs");
+    assert_eq!(resumed.cells_resumed, keep, "must trust exactly the intact records");
+    assert_eq!(
+        resumed.cells_computed,
+        resumed.cells_total - keep,
+        "must recompute exactly the lost cells"
+    );
+    assert_eq!(resumed.checkpoint_rejected, 1, "the torn line is dropped, not fatal");
+
+    // The tentpole assertion: byte-identical reports.
+    assert_eq!(
+        std::fs::read(&resumed.report_json_path).unwrap(),
+        report_json,
+        "resumed JSON report differs from the uninterrupted run"
+    );
+    assert_eq!(
+        std::fs::read(&resumed.report_text_path).unwrap(),
+        report_text,
+        "resumed text report differs from the uninterrupted run"
+    );
+
+    // And the checkpoint healed: a third launch resumes everything.
+    let third = run_campaign(&jobs, &config(&dir_b)).expect("third run");
+    assert_eq!(third.cells_resumed, third.cells_total);
+    assert_eq!(third.cells_computed, 0);
+
+    std::fs::remove_dir_all(&dir_a).unwrap();
+    std::fs::remove_dir_all(&dir_b).unwrap();
+}
+
+#[test]
+fn checkpoint_lines_are_self_validating() {
+    let jobs = campaign_trace();
+    let dir = unique_dir("lines");
+    let outcome = run_campaign(&jobs, &config(&dir)).expect("campaign runs");
+    let text = std::fs::read_to_string(&outcome.checkpoint_path).unwrap();
+    for line in text.lines() {
+        let (cell, data) =
+            checkpoint::decode_line(line, &outcome.fingerprint).expect("every line validates");
+        assert!(cell < outcome.cells_total);
+        // Each record is itself strict JSON with the paper quantities.
+        assert!(data.get("sldwa").is_some());
+        assert!(data.get("selector").is_some());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

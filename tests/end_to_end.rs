@@ -139,9 +139,9 @@ fn exact_solver_weakly_improves_on_every_policy() {
         limits: BranchLimits::default(),
         ..SolveConfig::default()
     };
-    let run = solve_snapshot(&problem, &config);
+    let run = solve_snapshot(&problem, &config).expect("snapshot has waiting jobs");
     assert_eq!(run.status, MipStatus::Optimal);
-    let exact = run.exact_value.unwrap();
+    let exact = run.comparison().expect("optimal solve has a schedule").exact_value;
     for policy in Policy::PAPER_SET {
         let value = Metric::SldwA.eval(&problem, &plan(&problem, policy).unwrap());
         assert!(
@@ -169,16 +169,16 @@ fn exact_schedule_is_valid_against_snapshot() {
             scale_override: Some(60),
             ..SolveConfig::default()
         },
-    );
-    let schedule = run.exact_schedule.expect("solved");
+    )
+    .expect("snapshot has waiting jobs");
+    let schedule = run.comparison().expect("solved").schedule;
     schedule.validate(&problem).unwrap();
 }
 
 #[test]
 fn tune_on_finish_variant_also_completes() {
     let (jobs, size) = trace(150, 6, 32);
-    let mut config = SimConfig::new(size);
-    config.tune_on_finish = true;
+    let config = SimConfig::new(size).with_tune_on_finish(true);
     let run = simulate(&jobs, SelfTuning::paper_config(Metric::SldwA), config);
     assert_eq!(run.records.len(), jobs.len());
     // Tuning on completions adds selection points beyond submissions.
