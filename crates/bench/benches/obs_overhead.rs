@@ -17,7 +17,7 @@
 //! Usage: `cargo bench -p dynp-bench --bench obs_overhead`
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dynp_obs::{recorder, install, Recorder, Sink, Span};
+use dynp_obs::{enter_cell, install, recorder, span, Recorder, Sink, Span};
 
 /// A stand-in for one DES dispatch step: enough arithmetic that the loop
 /// body is not optimised away, cheap enough that instrumentation overhead
@@ -41,6 +41,13 @@ fn bench_disabled(c: &mut Criterion) {
     group.bench_function("span_enter_drop", |b| {
         b.iter(|| {
             let _span = Span::enter(black_box("bench.span"));
+        })
+    });
+
+    // A traced span with no recorder is inert: no timer, no context push.
+    group.bench_function("traced_span_enter_drop", |b| {
+        b.iter(|| {
+            let _span = span(black_box("bench.traced"));
         })
     });
 
@@ -110,6 +117,80 @@ fn bench_null_recorder(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of trace-context propagation on top of the null recorder: the
+/// same span/event operations as `obs_null_recorder`, but inside a
+/// campaign-cell frame so every close event carries (campaign, cell,
+/// span, parent) and every child span id comes from the cell counter.
+fn bench_context(c: &mut Criterion) {
+    let r = recorder().expect("installed by the previous group");
+    let mut group = c.benchmark_group("obs_context");
+    group.sample_size(200);
+
+    group.bench_function("traced_span_free", |b| {
+        b.iter(|| {
+            let _span = span(black_box("bench.traced"));
+        })
+    });
+
+    group.bench_function("traced_span_in_cell", |b| {
+        let _cell = enter_cell(0xbe9c, 3);
+        b.iter(|| {
+            let _span = span(black_box("bench.traced"));
+        })
+    });
+
+    group.bench_function("event_emit_in_cell", |b| {
+        let _cell = enter_cell(0xbe9c, 4);
+        b.iter(|| {
+            r.event("bench.event")
+                .kv("case", black_box(7u64))
+                .kv("label", "ctx")
+                .emit()
+        })
+    });
+
+    group.finish();
+}
+
+/// Event throughput of the bounded sinks: the in-memory ring buffer and
+/// the size-rotating file writer (the default for experiment runs).
+fn bench_sinks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_sinks");
+    group.sample_size(100);
+
+    let ring = Recorder::new(Sink::ring(4096));
+    group.bench_function("event_emit_ring", |b| {
+        b.iter(|| {
+            ring.event("bench.event")
+                .kv("case", black_box(7u64))
+                .kv("label", "ring")
+                .emit()
+        })
+    });
+
+    let dir = std::env::temp_dir().join(format!("dynp_obs_overhead_{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let rotating = Recorder::new(
+        Sink::rotating(dir.join("bench.events.jsonl"), 1024 * 1024, 2)
+            .expect("temp dir is writable"),
+    );
+    group.bench_function("event_emit_rotating", |b| {
+        b.iter(|| {
+            rotating
+                .event("bench.event")
+                .kv("case", black_box(7u64))
+                .kv("label", "rot")
+                .emit()
+        })
+    });
+    rotating.flush();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
 criterion_group!(disabled, bench_disabled);
 criterion_group!(null_recorder, bench_null_recorder);
-criterion_main!(disabled, null_recorder);
+criterion_group!(context, bench_context);
+criterion_group!(sinks, bench_sinks);
+criterion_main!(disabled, null_recorder, context, sinks);

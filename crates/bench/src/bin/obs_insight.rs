@@ -1,0 +1,219 @@
+//! Telemetry-pipeline overhead and throughput: what trace-context
+//! propagation and the bounded event sinks cost at emission time, and
+//! how fast `dynp-insight` merges and analyzes the resulting logs.
+//!
+//! Three measurements:
+//!
+//! 1. **Span overhead** — traced span enter/drop with no recorder
+//!    (the library-user default), with a null-sink recorder, and inside
+//!    a campaign-cell frame (full context propagation).
+//! 2. **Sink throughput** — events/second into the null, ring, and
+//!    size-rotating sinks.
+//! 3. **Analyzer throughput** — a synthetic sharded log of `n_events`
+//!    context-carrying events merged by logical clock and analyzed,
+//!    in events/second.
+//!
+//! Writes `results/obs_insight.{txt,json,events.jsonl}` plus the
+//! repo-root `BENCH_insight.json` summary, self-validated with the
+//! strict JSON parser.
+//!
+//! Usage: `cargo run --release -p dynp-bench --bin obs_insight \
+//!             [n_events=200000] [iters=3]`
+
+use dynp_bench::Report;
+use dynp_insight::{analyze_groups, merge_lines, Options};
+use dynp_obs::JsonValue;
+use std::time::Instant;
+
+/// Minimum wall-clock over `iters` runs of `f`, in seconds.
+fn time_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Per-op cost in nanoseconds of `f` repeated `n` times.
+fn per_op_ns(iters: usize, n: usize, mut f: impl FnMut()) -> f64 {
+    time_secs(iters, || {
+        for _ in 0..n {
+            f();
+        }
+    }) * 1e9
+        / n as f64
+}
+
+fn emit_event(r: &dynp_obs::Recorder) {
+    r.event("bench.event")
+        .kv("case", std::hint::black_box(7u64))
+        .kv("label", "x")
+        .emit();
+}
+
+/// A synthetic campaign-shaped log: `cells` cells, each with a root
+/// span, a replay child, and `events_per_cell` decision events.
+fn synthetic_log(n_events: usize) -> Vec<String> {
+    let fp = "bench-fingerprint";
+    let camp = format!("{:016x}", dynp_obs::campaign_hash(fp));
+    let mut lines = Vec::with_capacity(n_events + 1);
+    let mut seq = 0u64;
+    lines.push(format!(
+        "{{\"ts\":0.0,\"target\":\"exp.campaign_start\",\"seq\":{seq},\"name\":\"bench\",\"fingerprint\":\"{fp}\",\"cells\":64,\"shards\":8}}"
+    ));
+    seq += 1;
+    let mut cell = 0u64;
+    while (seq as usize) < n_events {
+        let base = (cell % 64 + 1) << 32;
+        lines.push(format!(
+            "{{\"ts\":1.0,\"target\":\"dynp.decision\",\"seq\":{seq},\"campaign\":\"{camp}\",\"cell\":{c},\"span\":{child},\"parent\":{base},\"switched\":{sw}}}",
+            c = cell % 64,
+            child = base + 1,
+            sw = cell.is_multiple_of(3),
+        ));
+        seq += 1;
+        if (seq as usize) < n_events {
+            lines.push(format!(
+                "{{\"ts\":2.0,\"target\":\"span\",\"seq\":{seq},\"campaign\":\"{camp}\",\"cell\":{c},\"span\":{child},\"parent\":{base},\"kind\":\"sim.run\",\"dur_ns\":{dur}}}",
+                c = cell % 64,
+                child = base + 1,
+                dur = 1000 + seq,
+            ));
+            seq += 1;
+        }
+        if (seq as usize) < n_events {
+            lines.push(format!(
+                "{{\"ts\":3.0,\"target\":\"span\",\"seq\":{seq},\"campaign\":\"{camp}\",\"cell\":{c},\"span\":{base},\"parent\":0,\"kind\":\"exp.cell\",\"dur_ns\":{dur}}}",
+                c = cell % 64,
+                dur = 5000 + seq,
+            ));
+            seq += 1;
+        }
+        cell += 1;
+    }
+    lines
+}
+
+fn validate_or_die(what: &str, json: &str) {
+    if let Err(e) = dynp_obs::json::validate(json) {
+        eprintln!("{what}: invalid JSON produced: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n_events: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let ops = 100_000usize;
+
+    // Disabled-path costs must be measured before any recorder exists
+    // (the global recorder cannot be uninstalled).
+    assert!(dynp_obs::recorder().is_none(), "run obs_insight in a fresh process");
+    let span_disabled_ns = per_op_ns(iters, ops, || {
+        let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
+    });
+
+    let installed = dynp_obs::install(dynp_obs::Recorder::new(dynp_obs::Sink::Null));
+    let span_null_ns = per_op_ns(iters, ops, || {
+        let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
+    });
+    let cell = dynp_obs::enter_cell(0xbe9c, 0);
+    let span_in_cell_ns = per_op_ns(iters, ops, || {
+        let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
+    });
+    let event_in_cell_ns = per_op_ns(iters, ops, || emit_event(installed));
+    drop(cell);
+    let event_free_ns = per_op_ns(iters, ops, || emit_event(installed));
+
+    // Sink throughput on local (non-global) recorders.
+    let ring = dynp_obs::Recorder::new(dynp_obs::Sink::ring(4096));
+    let ring_ns = per_op_ns(iters, ops, || emit_event(&ring));
+    let dir = std::env::temp_dir().join(format!("dynp_obs_insight_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let rotating = dynp_obs::Recorder::new(
+        dynp_obs::Sink::rotating(dir.join("bench.events.jsonl"), 1024 * 1024, 2)
+            .expect("temp dir is writable"),
+    );
+    let rotating_ns = per_op_ns(iters, ops, || emit_event(&rotating));
+    rotating.flush();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Analyzer throughput over a synthetic sharded log.
+    let lines = synthetic_log(n_events);
+    let opts = Options::default();
+    let mut report_json = JsonValue::Null;
+    let analyze_secs = time_secs(iters, || {
+        let merged = merge_lines("bench.events.jsonl", lines.iter().map(String::as_str));
+        report_json = analyze_groups(&[merged], &opts);
+    });
+    let analyze_events_per_sec = lines.len() as f64 / analyze_secs;
+    let cells_seen = report_json
+        .get("logical")
+        .and_then(|l| l.get("groups"))
+        .and_then(JsonValue::as_array)
+        .and_then(<[JsonValue]>::first)
+        .and_then(|g| g.get("runs"))
+        .and_then(JsonValue::as_array)
+        .and_then(<[JsonValue]>::first)
+        .and_then(|r| r.get("cells_seen"))
+        .and_then(JsonValue::as_u64)
+        .unwrap_or(0);
+    assert_eq!(cells_seen, 64, "synthetic log must cover all 64 cells");
+
+    // Report (installs its own rotating recorder — after all timing).
+    let mut report = Report::new("obs_insight");
+    report.line(format!(
+        "Telemetry pipeline overhead (min of {iters} runs, {ops} ops each)"
+    ));
+    report.blank();
+    report.line(format!("{:<34} {:>10}", "operation", "ns/op"));
+    let rows = [
+        ("traced_span_no_recorder", span_disabled_ns),
+        ("traced_span_null_recorder", span_null_ns),
+        ("traced_span_in_cell", span_in_cell_ns),
+        ("event_emit_null_free", event_free_ns),
+        ("event_emit_null_in_cell", event_in_cell_ns),
+        ("event_emit_ring", ring_ns),
+        ("event_emit_rotating", rotating_ns),
+    ];
+    let mut rows_json = JsonValue::array();
+    for (name, ns) in rows {
+        report.line(format!("{name:<34} {ns:>10.1}"));
+        rows_json.push(JsonValue::object().with("op", name).with("ns_per_op", ns));
+    }
+    report.blank();
+    report.line(format!(
+        "analyzer: {n} events merged+analyzed in {s:.3} s ({rate:.0} events/s)",
+        n = lines.len(),
+        s = analyze_secs,
+        rate = analyze_events_per_sec,
+    ));
+
+    let summary = JsonValue::object()
+        .with("bench", "obs_insight")
+        .with("iters", iters)
+        .with("ops_per_measurement", ops)
+        .with("emission", rows_json.clone())
+        .with(
+            "analyzer",
+            JsonValue::object()
+                .with("events", lines.len())
+                .with("analyze_secs", analyze_secs)
+                .with("events_per_sec", analyze_events_per_sec),
+        );
+    let summary_json = summary.to_json_pretty();
+    validate_or_die("BENCH_insight.json", &summary_json);
+    std::fs::write("BENCH_insight.json", &summary_json).expect("writing BENCH_insight.json");
+    eprintln!("wrote BENCH_insight.json");
+
+    report.set("emission", rows_json);
+    report.set("analyze_secs", analyze_secs);
+    report.set("analyze_events_per_sec", analyze_events_per_sec);
+    report.finish().expect("writing results/");
+    let written =
+        std::fs::read_to_string("results/obs_insight.json").expect("reading back results JSON");
+    validate_or_die("results/obs_insight.json", &written);
+}

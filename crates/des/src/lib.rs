@@ -137,6 +137,9 @@ pub trait Model {
 /// high-water mark (`des.queue_depth`); handles are fetched once, so the
 /// per-event cost is at most two atomic updates.
 pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>) -> u64 {
+    // One traced span per drain: inside a campaign cell this is the
+    // "DES epoch" child of the replay span.
+    let _run_span = dynp_obs::span("des.run");
     let obs = dynp_obs::recorder();
     let m_events = obs.map(|r| r.counter("des.events"));
     let m_depth = obs.map(|r| r.gauge("des.queue_depth"));

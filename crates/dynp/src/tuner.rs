@@ -104,8 +104,9 @@ impl SelfTuning {
     pub fn step(&mut self, problem: &SchedulingProblem) -> TuningOutcome {
         // Per-decision latency: the whole plan-evaluate-decide cycle runs
         // on every submission/completion, so this histogram is the
-        // scheduler-overhead side of the paper's comparison.
-        let _step_span = dynp_obs::Span::enter("dynp.step");
+        // scheduler-overhead side of the paper's comparison. Traced: one
+        // span close event per decision, correlated to the campaign cell.
+        let _step_span = dynp_obs::span("dynp.step");
         let previous = self.active;
         if problem.is_empty() {
             return TuningOutcome {

@@ -460,6 +460,9 @@ pub struct CampaignOutcome {
     pub report_json_path: PathBuf,
     /// Path of the human-readable report.
     pub report_text_path: PathBuf,
+    /// Path of the OpenMetrics snapshot (`None` when no global recorder
+    /// was installed, so there was nothing to expose).
+    pub metrics_path: Option<PathBuf>,
 }
 
 /// One unit of campaign work, fully determined by config + trace.
@@ -478,6 +481,9 @@ struct Cell<'a> {
 /// and produce a byte-identical report.
 pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
     let span = dynp_obs::Span::enter("exp.campaign");
+    // Panic-safe: even a campaign that dies mid-cell leaves a flushed
+    // event log behind, matching what the checkpoint recorded.
+    let _flush = dynp_obs::flush_on_drop();
     config.validate(jobs)?;
     let shard_list: Vec<TraceShard> = shards(jobs, config.shard_seconds).collect();
     if shard_list.is_empty() {
@@ -517,6 +523,7 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
             .emit();
     }
 
+    let campaign_id = dynp_obs::campaign_hash(&fingerprint);
     let computed = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
     let cell_results: Vec<JsonValue> = pool::run_indexed(config.workers, &cells, |i, cell| {
@@ -524,16 +531,27 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
             resumed.fetch_add(1, Ordering::Relaxed);
             return cached.clone();
         }
+        // Everything a cell does — replay, exact solves, the checkpoint
+        // append, the completion event — runs under the cell's trace
+        // context, so all its events correlate. A cell runs entirely on
+        // one worker thread, which is what keeps its span ids
+        // deterministic regardless of the worker count.
+        let cell_ctx = dynp_obs::enter_cell(campaign_id, i as u64);
         let data = run_cell(cell, config);
         log.append(&fingerprint, i, &data);
         computed.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = dynp_obs::recorder() {
             r.event("exp.cell_done")
-                .kv("cell", i)
                 .kv("shard", cell.shard.index)
                 .kv("selector", cell.spec.label().as_str())
                 .kv("factor", cell.factor)
                 .emit();
+        }
+        drop(cell_ctx);
+        // Flush per finished cell: a killed campaign keeps event logs
+        // that cover exactly what the checkpoint covers.
+        if let Some(r) = dynp_obs::recorder() {
+            r.flush();
         }
         data
     });
@@ -543,6 +561,16 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
     let report_text_path = config.output_dir.join(format!("{}.report.txt", config.name));
     std::fs::write(&report_json_path, report.json.to_json())?;
     std::fs::write(&report_text_path, &report.text)?;
+    // OpenMetrics snapshot of whatever recorder observed this run, next
+    // to the reports (scrape-ready; also CI-validated).
+    let metrics_path = match dynp_obs::recorder() {
+        Some(r) => {
+            let path = config.output_dir.join(format!("{}.metrics.txt", config.name));
+            std::fs::write(&path, dynp_obs::expo::render(r))?;
+            Some(path)
+        }
+        None => None,
+    };
     drop(span);
 
     Ok(CampaignOutcome {
@@ -555,6 +583,7 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         checkpoint_path,
         report_json_path,
         report_text_path,
+        metrics_path,
     })
 }
 
@@ -594,7 +623,9 @@ fn run_cell(cell: &Cell<'_>, config: &CampaignConfig) -> JsonValue {
     }
 
     // `simulate` is generic over the selector, so dispatch per variant and
-    // collapse to the common record set + dynP stats.
+    // collapse to the common record set + dynP stats. The replay stage is
+    // one traced child span of the cell.
+    let replay_span = dynp_obs::span("exp.replay");
     let (summary, completed, skipped, snapshots, steps, switches) = match cell.spec {
         SelectorSpec::Fixed(policy) => {
             let run = simulate(&jobs, FixedPolicy(policy), sim_config);
@@ -614,6 +645,7 @@ fn run_cell(cell: &Cell<'_>, config: &CampaignConfig) -> JsonValue {
             )
         }
     };
+    drop(replay_span);
 
     let mut data = JsonValue::object()
         .with("shard", cell.shard.index)
@@ -632,6 +664,7 @@ fn run_cell(cell: &Cell<'_>, config: &CampaignConfig) -> JsonValue {
         .with("switches", switches);
 
     if let Some(exact) = &config.exact {
+        let _exact_span = dynp_obs::span("exp.exact");
         data = data.with("exact", run_cell_exact(&snapshots, exact));
     }
     data

@@ -1,0 +1,153 @@
+//! Regression diffing of two insight reports.
+//!
+//! The `logical` sections are compared for strict structural equality —
+//! they are deterministic for a given campaign config and trace, so any
+//! difference is a real behavioral change (different cells, different
+//! solver effort, different span structure) and fails the diff. The
+//! `timing` sections are compared loosely: large latency shifts are
+//! reported as informational notes but never fail, because wall-clock
+//! varies run to run.
+
+use dynp_obs::JsonValue;
+
+/// Outcome of comparing two reports.
+#[derive(Debug, Default)]
+pub struct DiffOutcome {
+    /// True when the logical sections are structurally identical.
+    pub logical_equal: bool,
+    /// Paths (dotted) where the logical sections differ.
+    pub logical_diffs: Vec<String>,
+    /// Informational notes on large timing shifts.
+    pub timing_notes: Vec<String>,
+}
+
+const MAX_DIFFS: usize = 50;
+
+fn describe(v: &JsonValue) -> String {
+    let mut s = v.to_json();
+    if s.len() > 60 {
+        s.truncate(57);
+        s.push_str("...");
+    }
+    s
+}
+
+fn walk(path: &str, a: &JsonValue, b: &JsonValue, out: &mut Vec<String>) {
+    if out.len() >= MAX_DIFFS {
+        return;
+    }
+    match (a, b) {
+        (JsonValue::Object(ea), JsonValue::Object(eb)) => {
+            for (k, va) in ea {
+                match eb.iter().find(|(kb, _)| kb == k) {
+                    Some((_, vb)) => walk(&format!("{path}.{k}"), va, vb, out),
+                    None => out.push(format!("{path}.{k}: removed (was {})", describe(va))),
+                }
+            }
+            for (k, vb) in eb {
+                if !ea.iter().any(|(ka, _)| ka == k) {
+                    out.push(format!("{path}.{k}: added ({})", describe(vb)));
+                }
+            }
+        }
+        (JsonValue::Array(ia), JsonValue::Array(ib)) => {
+            if ia.len() != ib.len() {
+                out.push(format!("{path}: length {} -> {}", ia.len(), ib.len()));
+            }
+            for (i, (va, vb)) in ia.iter().zip(ib).enumerate() {
+                walk(&format!("{path}[{i}]"), va, vb, out);
+            }
+        }
+        _ if a == b => {}
+        _ => out.push(format!("{path}: {} -> {}", describe(a), describe(b))),
+    }
+}
+
+/// Ratio past which a timing shift is worth a note.
+const TIMING_NOTE_RATIO: f64 = 2.0;
+
+fn timing_notes(a: &JsonValue, b: &JsonValue, out: &mut Vec<String>) {
+    let (Some(ka), Some(kb)) = (
+        a.get("span_kinds").and_then(JsonValue::as_object),
+        b.get("span_kinds").and_then(JsonValue::as_object),
+    ) else {
+        return;
+    };
+    for (kind, stats_a) in ka {
+        let Some((_, stats_b)) = kb.iter().find(|(k, _)| k == kind) else {
+            out.push(format!("timing: span kind {kind} disappeared"));
+            continue;
+        };
+        for metric in ["p50_ns", "p99_ns"] {
+            let va = stats_a.get(metric).and_then(JsonValue::as_f64);
+            let vb = stats_b.get(metric).and_then(JsonValue::as_f64);
+            if let (Some(va), Some(vb)) = (va, vb) {
+                if va > 0.0 && vb > 0.0 {
+                    let ratio = vb / va;
+                    if !(1.0 / TIMING_NOTE_RATIO..=TIMING_NOTE_RATIO).contains(&ratio) {
+                        out.push(format!(
+                            "timing: {kind} {metric} {va:.0} -> {vb:.0} ({ratio:.2}x)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Compares report `a` (baseline) against `b` (candidate).
+pub fn diff_reports(a: &JsonValue, b: &JsonValue) -> DiffOutcome {
+    let mut outcome = DiffOutcome::default();
+    let null = JsonValue::Null;
+    let la = a.get("logical").unwrap_or(&null);
+    let lb = b.get("logical").unwrap_or(&null);
+    walk("logical", la, lb, &mut outcome.logical_diffs);
+    outcome.logical_equal = outcome.logical_diffs.is_empty();
+    if let (Some(ta), Some(tb)) = (a.get("timing"), b.get("timing")) {
+        timing_notes(ta, tb, &mut outcome.timing_notes);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_obs::parse_json;
+
+    #[test]
+    fn identical_logical_sections_pass() {
+        let a = parse_json(r#"{"logical":{"x":1,"list":[1,2]},"timing":{"span_kinds":{}}}"#).unwrap();
+        let outcome = diff_reports(&a, &a);
+        assert!(outcome.logical_equal);
+        assert!(outcome.logical_diffs.is_empty());
+    }
+
+    #[test]
+    fn logical_changes_are_reported_with_paths() {
+        let a = parse_json(r#"{"logical":{"x":1,"gone":true,"list":[1,2]}}"#).unwrap();
+        let b = parse_json(r#"{"logical":{"x":2,"list":[1],"new":"v"}}"#).unwrap();
+        let outcome = diff_reports(&a, &b);
+        assert!(!outcome.logical_equal);
+        let joined = outcome.logical_diffs.join("\n");
+        assert!(joined.contains("logical.x: 1 -> 2"), "{joined}");
+        assert!(joined.contains("logical.gone: removed"), "{joined}");
+        assert!(joined.contains("logical.list: length 2 -> 1"), "{joined}");
+        assert!(joined.contains("logical.new: added"), "{joined}");
+    }
+
+    #[test]
+    fn timing_shifts_are_notes_not_failures() {
+        let a = parse_json(
+            r#"{"logical":{},"timing":{"span_kinds":{"sim.run":{"p50_ns":1000.0,"p99_ns":2000.0}}}}"#,
+        )
+        .unwrap();
+        let b = parse_json(
+            r#"{"logical":{},"timing":{"span_kinds":{"sim.run":{"p50_ns":9000.0,"p99_ns":2100.0}}}}"#,
+        )
+        .unwrap();
+        let outcome = diff_reports(&a, &b);
+        assert!(outcome.logical_equal);
+        assert_eq!(outcome.timing_notes.len(), 1);
+        assert!(outcome.timing_notes[0].contains("p50_ns"));
+    }
+}

@@ -1,0 +1,109 @@
+//! One parsed JSONL event record, as written by `dynp_obs`'s sinks.
+
+use dynp_obs::{parse_json, JsonValue};
+
+/// A single event line: the envelope fields every record carries
+/// (`seq`, `target`) plus the optional trace-context correlation fields,
+/// with the full parsed object kept for payload access.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Logical-clock value; the merge key. Unique per log group.
+    pub seq: u64,
+    /// Event target, e.g. `milp.exit` or `span`.
+    pub target: String,
+    /// Campaign identity (16 hex digits) when emitted inside a cell.
+    pub campaign: Option<String>,
+    /// Cell index when emitted inside a cell.
+    pub cell: Option<u64>,
+    /// Span id when a trace context was active.
+    pub span: Option<u64>,
+    /// Parent span id when a trace context was active (0 = root).
+    pub parent: Option<u64>,
+    /// The full parsed object, for payload fields (`kind`, `dur_ns`,
+    /// `status`, …).
+    pub body: JsonValue,
+}
+
+impl Event {
+    /// Unsigned-integer payload field.
+    pub fn u(&self, key: &str) -> Option<u64> {
+        self.body.get(key).and_then(JsonValue::as_u64)
+    }
+
+    /// Float payload field.
+    pub fn f(&self, key: &str) -> Option<f64> {
+        self.body.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// String payload field.
+    pub fn s(&self, key: &str) -> Option<&str> {
+        self.body.get(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// Parses one JSONL line into an [`Event`].
+///
+/// Rejects lines that are not strict JSON objects or that predate the
+/// `seq` logical clock — the analyzer needs a total order, so legacy
+/// logs without `seq` are counted as rejected rather than guessed at.
+pub fn parse_line(line: &str) -> Result<Event, String> {
+    let body = parse_json(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let seq = body
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| "missing seq (pre-insight event schema)".to_string())?;
+    let target = body
+        .get("target")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| "missing target".to_string())?
+        .to_string();
+    let campaign = body
+        .get("campaign")
+        .and_then(JsonValue::as_str)
+        .map(str::to_string);
+    let cell = body.get("cell").and_then(JsonValue::as_u64);
+    let span = body.get("span").and_then(JsonValue::as_u64);
+    let parent = body.get("parent").and_then(JsonValue::as_u64);
+    if campaign.is_some() != cell.is_some() {
+        return Err("campaign and cell must appear together".to_string());
+    }
+    if (campaign.is_some() || parent.is_some()) && span.is_none() {
+        return Err("context fields present without a span id".to_string());
+    }
+    Ok(Event {
+        seq,
+        target,
+        campaign,
+        cell,
+        span,
+        parent,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_context_line() {
+        let e = parse_line(
+            r#"{"ts":0.5,"target":"span","seq":9,"campaign":"00deadbeef000000","cell":3,"span":17179869184,"parent":0,"kind":"exp.cell","dur_ns":123}"#,
+        )
+        .unwrap();
+        assert_eq!(e.seq, 9);
+        assert_eq!(e.target, "span");
+        assert_eq!(e.cell, Some(3));
+        assert_eq!(e.span, Some(4u64 << 32));
+        assert_eq!(e.s("kind"), Some("exp.cell"));
+        assert_eq!(e.u("dur_ns"), Some(123));
+    }
+
+    #[test]
+    fn rejects_seqless_and_invalid_lines() {
+        assert!(parse_line(r#"{"ts":1,"target":"x"}"#).is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"ts":1,"target":"x","seq":1,"campaign":"ab"}"#).is_err());
+        assert!(parse_line(r#"{"ts":1,"target":"x","seq":1,"parent":2}"#).is_err());
+    }
+}

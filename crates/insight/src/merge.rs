@@ -1,0 +1,215 @@
+//! Discovering event logs on disk and merging them into one
+//! totally-ordered stream per log group.
+//!
+//! A *log group* is one logical event stream: a base `<name>.events.jsonl`
+//! plus the size-rotated siblings `<name>.events.jsonl.1`, `.2`, …
+//! written by `dynp_obs::Sink::rotating`. Lines inside a group share one
+//! `seq` logical-clock domain (one recorder), so the group merges by
+//! sorting on `seq` — the result is independent of how the lines were
+//! physically interleaved across worker threads or split across rotated
+//! files. Distinct groups (separate recorder installs, e.g. two bench
+//! runs into one directory) have independent `seq` domains and are kept
+//! separate.
+
+use crate::event::{parse_line, Event};
+use std::path::{Path, PathBuf};
+
+/// One logical stream on disk: base file plus rotations, oldest first.
+#[derive(Clone, Debug)]
+pub struct LogGroup {
+    /// Group display name (the base file name).
+    pub name: String,
+    /// Member files in read order (oldest rotation → base).
+    pub files: Vec<PathBuf>,
+}
+
+/// A merged, seq-ordered stream plus merge diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct MergedGroup {
+    /// Group display name (stable across machines: file name only).
+    pub name: String,
+    /// Files that were read, in read order.
+    pub files: Vec<PathBuf>,
+    /// Events sorted by `seq`, duplicates removed.
+    pub events: Vec<Event>,
+    /// Raw lines seen (incl. rejects and duplicates).
+    pub lines: usize,
+    /// Lines that failed to parse (bad JSON, missing seq, torn tails).
+    pub rejected: usize,
+    /// Byte-identical lines sharing a `seq` (e.g. a file copied into its
+    /// own rotation set); deduplicated.
+    pub duplicate_seqs: usize,
+    /// Differing lines sharing a `seq` — a real anomaly; first wins.
+    pub conflicting_seqs: usize,
+    /// Holes in the seq domain (ring-dropped or rotation-discarded
+    /// events): `max − min + 1 − kept`.
+    pub missing_seqs: u64,
+}
+
+fn rotated_path(base: &Path, i: usize) -> PathBuf {
+    let mut os = base.as_os_str().to_os_string();
+    os.push(format!(".{i}"));
+    PathBuf::from(os)
+}
+
+/// Expands one base log file into its group (rotations oldest-first).
+pub fn group_for(base: &Path) -> LogGroup {
+    let mut rotations = Vec::new();
+    let mut i = 1;
+    loop {
+        let p = rotated_path(base, i);
+        if !p.exists() {
+            break;
+        }
+        rotations.push(p);
+        i += 1;
+    }
+    // Highest rotation index = oldest lines; read those first so the
+    // stable sort keeps any equal-seq anomaly in write order.
+    rotations.reverse();
+    rotations.push(base.to_path_buf());
+    LogGroup {
+        name: base
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| base.display().to_string()),
+        files: rotations,
+    }
+}
+
+/// Finds every log group under `path`: a directory is scanned for
+/// `*.events.jsonl` bases (sorted by name); a file is its own base.
+pub fn discover(path: &Path) -> std::io::Result<Vec<LogGroup>> {
+    if path.is_dir() {
+        let mut bases: Vec<PathBuf> = std::fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.is_file()
+                    && p.file_name()
+                        .is_some_and(|n| n.to_string_lossy().ends_with(".events.jsonl"))
+            })
+            .collect();
+        bases.sort();
+        Ok(bases.iter().map(|b| group_for(b)).collect())
+    } else {
+        Ok(vec![group_for(path)])
+    }
+}
+
+/// Merges raw lines into one seq-ordered stream (the pure core shared
+/// by file merging and the property tests).
+pub fn merge_lines<'a>(name: &str, lines: impl IntoIterator<Item = &'a str>) -> MergedGroup {
+    let mut out = MergedGroup {
+        name: name.to_string(),
+        ..MergedGroup::default()
+    };
+    let mut parsed: Vec<(Event, &'a str)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        out.lines += 1;
+        match parse_line(line) {
+            Ok(ev) => parsed.push((ev, line)),
+            Err(_) => out.rejected += 1,
+        }
+    }
+    parsed.sort_by_key(|(ev, _)| ev.seq);
+    let mut events: Vec<Event> = Vec::with_capacity(parsed.len());
+    let mut last: Option<(u64, &str)> = None;
+    for (ev, raw) in parsed {
+        match last {
+            Some((seq, prev_raw)) if seq == ev.seq => {
+                if prev_raw == raw {
+                    out.duplicate_seqs += 1;
+                } else {
+                    out.conflicting_seqs += 1;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        last = Some((ev.seq, raw));
+        events.push(ev);
+    }
+    if let (Some(first), Some(end)) = (events.first(), events.last()) {
+        out.missing_seqs = (end.seq - first.seq + 1) - events.len() as u64;
+    }
+    out.events = events;
+    out
+}
+
+/// Reads and merges all files of a group.
+pub fn merge_group(group: &LogGroup) -> std::io::Result<MergedGroup> {
+    let mut contents = Vec::with_capacity(group.files.len());
+    for f in &group.files {
+        contents.push(std::fs::read_to_string(f)?);
+    }
+    let mut merged = merge_lines(&group.name, contents.iter().flat_map(|c| c.lines()));
+    merged.files = group.files.clone();
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, target: &str) -> String {
+        format!("{{\"ts\":0.1,\"target\":\"{target}\",\"seq\":{seq}}}")
+    }
+
+    #[test]
+    fn merge_orders_by_seq_across_shards() {
+        let a = [line(3, "c"), line(0, "a")];
+        let b = [line(2, "b"), line(1, "x")];
+        let merged = merge_lines(
+            "t",
+            a.iter().map(String::as_str).chain(b.iter().map(String::as_str)),
+        );
+        let seqs: Vec<u64> = merged.events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+        assert_eq!(merged.missing_seqs, 0);
+        assert_eq!(merged.rejected, 0);
+    }
+
+    #[test]
+    fn merge_counts_holes_duplicates_and_conflicts() {
+        let l0 = line(0, "a");
+        let l5 = line(5, "b");
+        let l5_conflict = line(5, "different");
+        let lines = [l0.as_str(), l5.as_str(), l5.as_str(), l5_conflict.as_str(), "garbage"];
+        let merged = merge_lines("t", lines);
+        assert_eq!(merged.events.len(), 2);
+        assert_eq!(merged.duplicate_seqs, 1);
+        assert_eq!(merged.conflicting_seqs, 1);
+        assert_eq!(merged.rejected, 1);
+        assert_eq!(merged.missing_seqs, 4); // 1..=4 absent
+        // First-wins on conflict.
+        assert_eq!(merged.events[1].target, "b");
+    }
+
+    #[test]
+    fn discover_groups_rotations_oldest_first() {
+        let dir = std::env::temp_dir().join(format!("dynp_insight_discover_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("run.events.jsonl");
+        std::fs::write(&base, line(4, "new") + "\n").unwrap();
+        std::fs::write(rotated_path(&base, 1), line(2, "mid") + "\n").unwrap();
+        std::fs::write(rotated_path(&base, 2), line(0, "old") + "\n").unwrap();
+        std::fs::write(dir.join("other.events.jsonl"), line(0, "o") + "\n").unwrap();
+        std::fs::write(dir.join("report.json"), "{}").unwrap();
+        let groups = discover(&dir).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].name, "other.events.jsonl");
+        assert_eq!(groups[1].name, "run.events.jsonl");
+        assert_eq!(groups[1].files.len(), 3);
+        assert!(groups[1].files[0].to_string_lossy().ends_with(".2"));
+        let merged = merge_group(&groups[1]).unwrap();
+        let targets: Vec<&str> = merged.events.iter().map(|e| e.target.as_str()).collect();
+        assert_eq!(targets, vec!["old", "mid", "new"]);
+        assert_eq!(merged.missing_seqs, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -298,6 +298,10 @@ impl<'a> BranchBound<'a> {
     /// Runs the search to completion or a limit.
     pub fn solve(mut self) -> MipSolution {
         let solve_start = Instant::now();
+        // The whole B&B search is one traced span (child of milp.solve
+        // inside a campaign cell); per-node timing stays a plain
+        // histogram span to keep the node loop cheap.
+        let _search_span = dynp_obs::span("milp.search");
         // Metric handles are fetched once here; the node loop below only
         // touches atomics (or skips entirely when no recorder is
         // installed).

@@ -258,6 +258,9 @@ pub fn solve_snapshot(
     if config.policies.is_empty() {
         return Err(SolveError::NoPolicies);
     }
+    // Everything below — policy baselines, TI model build, B&B search,
+    // compaction — is one traced exact-solve span per snapshot.
+    let _solve_span = dynp_obs::span("milp.solve");
     // 1. Policy schedules: baseline values and the §3.1 horizon.
     let plan_clock = Instant::now();
     let mut best: Option<(Policy, f64, Schedule)> = None;

@@ -9,16 +9,28 @@
 //! * **Spans** — RAII [`Span`] timers feeding latency histograms;
 //!   near-zero cost when no global recorder is installed.
 //! * **Events** — one-line JSONL records (`{"ts":…,"target":…,…}`)
-//!   written to a file, an in-memory buffer, or discarded; escaping is
-//!   hand-rolled in [`json`], which also ships a strict serde-free
-//!   validator used by the test suite.
+//!   written to a file, an in-memory buffer, a bounded ring, a
+//!   size-rotating file set, or discarded; escaping is hand-rolled in
+//!   [`json`], which also ships a strict serde-free validator used by
+//!   the test suite. Every event carries a `seq` logical-clock value so
+//!   interleaved multi-worker logs merge into one total order.
+//! * **Trace context** — [`context`] threads
+//!   `(campaign, cell, span, parent)` correlation ids through worker
+//!   threads; all events emitted under an active context are tagged
+//!   automatically and span ids are deterministic per cell, so the
+//!   `dynp-insight` analyzer can rebuild the causal tree independent of
+//!   worker count.
+//! * **Exposition** — [`expo`] renders a recorder snapshot in the
+//!   OpenMetrics/Prometheus text format (and strictly validates it).
 //!
 //! The [`Recorder`] owns the metric registries and the event sink.
 //! Production code uses the optional process-global recorder:
 //! [`install`] one at program start (the bench binaries do), then
 //! instrumented subsystems fetch handles via [`recorder`]. When nothing
 //! is installed, instrumentation costs one atomic load per handle fetch
-//! and nothing per loop iteration.
+//! and nothing per loop iteration. Long-lived runs hold a
+//! [`FlushGuard`] (see [`flush_on_drop`]) so buffered event sinks reach
+//! disk even when the run panics.
 //!
 //! ```
 //! use dynp_obs::{Recorder, Sink, Span};
@@ -33,10 +45,13 @@
 //! assert_eq!(r.events().len(), 1);
 //! ```
 
+pub mod context;
+pub mod expo;
 pub mod json;
 pub mod metrics;
 mod recorder;
 
+pub use context::{campaign_hash, cell_span_base, enter_cell, span, CellGuard, SpanGuard, TraceContext};
 pub use json::{parse as parse_json, validate as validate_json, JsonValue};
 pub use metrics::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use recorder::{install, recorder, EventBuilder, Recorder, Sink, Span};
+pub use recorder::{install, flush_on_drop, recorder, EventBuilder, FlushGuard, Recorder, Sink, Span};

@@ -82,8 +82,9 @@ pub struct SimRun<S> {
 /// Jobs wider than the machine are skipped (and reported), matching how
 /// trace-replay studies clean archive traces.
 pub fn simulate<S: PolicySelector>(jobs: &[Job], selector: S, config: SimConfig) -> SimRun<S> {
-    // Whole-run wall time, one histogram sample per replay.
-    let _run_span = dynp_obs::Span::enter("sim.run");
+    // Whole-run wall time, one histogram sample per replay; traced so
+    // the span close event lands under the enclosing campaign cell.
+    let _run_span = dynp_obs::span("sim.run");
     let label = selector.label();
     let log = match config.snapshots {
         Some(filter) => SnapshotLog::with_filter(filter),

@@ -14,7 +14,11 @@
 //! * [`sim`] — the RMS simulator replaying traces,
 //! * [`milp`] — the exact time-indexed ILP solver (the CPLEX substitute),
 //! * [`exp`] — parallel, resumable experiment campaigns over trace shards,
-//! * [`obs`] — metrics, span timing, and the JSONL event log.
+//! * [`obs`] — metrics, span timing, trace-context propagation, the
+//!   JSONL event log, and OpenMetrics exposition,
+//! * [`insight`] — the offline event analyzer: merges rotated/sharded
+//!   logs by logical clock and reports critical paths, span latency
+//!   percentiles, and regression diffs.
 //!
 //! # Quickstart
 //!
@@ -45,6 +49,7 @@
 pub use dynp_core as dynp;
 pub use dynp_des as des;
 pub use dynp_exp as exp;
+pub use dynp_insight as insight;
 pub use dynp_milp as milp;
 pub use dynp_obs as obs;
 pub use dynp_platform as platform;
