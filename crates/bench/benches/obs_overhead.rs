@@ -152,6 +152,52 @@ fn bench_context(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost the live-telemetry layer (`dynp-watch`) adds when it is NOT
+/// started — the default for every run without `--watch`. The watch
+/// server samples the recorder from its own threads and owns no metric
+/// state, so the only instrumented-path addition is the span-profiling
+/// hook's one relaxed flag load at span close. This group measures the
+/// exact span shapes of `obs_context` again with the profiling flag
+/// explicitly confirmed off; the numbers must be statistically
+/// indistinguishable from that group's. (The profiling-ON cost is
+/// measured with a bounded op count in the `obs_insight` bin and
+/// recorded in `BENCH_watch.json`; an open-ended criterion loop would
+/// grow the profile buffer without limit.)
+fn bench_watch_disabled(c: &mut Criterion) {
+    let r = recorder().expect("installed by a previous group");
+    assert!(
+        !r.profiling_enabled(),
+        "watch-disabled benches require the profiling hook to be off"
+    );
+    let mut group = c.benchmark_group("obs_watch_disabled");
+    group.sample_size(200);
+
+    group.bench_function("traced_span_free", |b| {
+        b.iter(|| {
+            let _span = span(black_box("bench.traced"));
+        })
+    });
+
+    group.bench_function("traced_span_in_cell", |b| {
+        let _cell = enter_cell(0xbe9c, 5);
+        b.iter(|| {
+            let _span = span(black_box("bench.traced"));
+        })
+    });
+
+    group.bench_function("event_emit_in_cell", |b| {
+        let _cell = enter_cell(0xbe9c, 6);
+        b.iter(|| {
+            r.event("bench.event")
+                .kv("case", black_box(7u64))
+                .kv("label", "nw")
+                .emit()
+        })
+    });
+
+    group.finish();
+}
+
 /// Event throughput of the bounded sinks: the in-memory ring buffer and
 /// the size-rotating file writer (the default for experiment runs).
 fn bench_sinks(c: &mut Criterion) {
@@ -192,5 +238,6 @@ fn bench_sinks(c: &mut Criterion) {
 criterion_group!(disabled, bench_disabled);
 criterion_group!(null_recorder, bench_null_recorder);
 criterion_group!(context, bench_context);
+criterion_group!(watch_disabled, bench_watch_disabled);
 criterion_group!(sinks, bench_sinks);
-criterion_main!(disabled, null_recorder, context, sinks);
+criterion_main!(disabled, null_recorder, context, watch_disabled, sinks);

@@ -11,9 +11,9 @@
 //! repo root.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin campaign \
-//!   [n_jobs] [n_shards] [workers_csv] [selectors_csv]`
+//!   [n_jobs] [n_shards] [workers_csv] [selectors_csv] [--watch <addr>]`
 
-use dynp_bench::Report;
+use dynp_bench::{cli_args_and_watch, start_watch, Report};
 use dynp_exp::{run_campaign, CampaignConfig, ExactConfig, SelectorSpec};
 use dynp_obs::JsonValue;
 use dynp_trace::{CtcModel, Job, WorkloadModel, WEEK_SECONDS};
@@ -34,7 +34,8 @@ fn weekly_trace(n_jobs: usize, n_shards: usize) -> Vec<Job> {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1_200);
     let n_shards: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
     let workers: Vec<usize> = args
@@ -52,6 +53,7 @@ fn main() {
     };
 
     let mut report = Report::new("campaign");
+    let _watch = start_watch(watch_addr.as_deref());
     let jobs = weekly_trace(n_jobs, n_shards);
 
     report.line(format!(

@@ -6,15 +6,16 @@
 //! CTC-like trace: switch counts, per-policy residency, and the resulting
 //! actual-time metrics. Writes `results/decider_ablation.{txt,json,events.jsonl}`.
 //!
-//! Usage: `cargo run --release -p dynp-bench --bin decider_ablation [n_jobs] [seeds...]`
+//! Usage: `cargo run --release -p dynp-bench --bin decider_ablation [n_jobs] [seeds...] [--watch <addr>]`
 
-use dynp_bench::{ctc_trace, selector_run, Report};
+use dynp_bench::{cli_args_and_watch, ctc_trace, selector_run, start_watch, Report};
 use dynp_core::{Decider, SelfTuning};
 use dynp_obs::JsonValue;
 use dynp_sched::{Metric, Policy};
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1500);
     let seeds: Vec<u64> = {
         let rest: Vec<u64> = args.filter_map(|a| a.parse().ok()).collect();
@@ -26,6 +27,7 @@ fn main() {
     };
 
     let mut report = Report::new("decider_ablation");
+    let _watch = start_watch(watch_addr.as_deref());
     report.set(
         "params",
         JsonValue::object()

@@ -3,15 +3,17 @@
 //! running jobs' estimated ends — rendered as the tuple list and an ASCII
 //! step plot. Writes `results/figure1.{txt,json,events.jsonl}`.
 //!
-//! Usage: `cargo run -p dynp-bench --bin figure1`
+//! Usage: `cargo run -p dynp-bench --bin figure1 [--watch <addr>]`
 
-use dynp_bench::Report;
+use dynp_bench::{cli_args_and_watch, start_watch, Report};
 use dynp_obs::JsonValue;
 use dynp_platform::{Machine, MachineHistory};
 use dynp_trace::Job;
 
 fn main() {
+    let (_args, watch_addr) = cli_args_and_watch();
     let mut report = Report::new("figure1");
+    let _watch = start_watch(watch_addr.as_deref());
 
     // A machine of 16 resources observed at t = 100 s with four running
     // jobs, mirroring the shape of the paper's illustration.

@@ -14,13 +14,13 @@
 //!    in events/second.
 //!
 //! Writes `results/obs_insight.{txt,json,events.jsonl}` plus the
-//! repo-root `BENCH_insight.json` summary, self-validated with the
-//! strict JSON parser.
+//! repo-root `BENCH_insight.json` and `BENCH_watch.json` summaries,
+//! self-validated with the strict JSON parser.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin obs_insight \
-//!             [n_events=200000] [iters=3]`
+//!             [n_events=200000] [iters=3] [--watch <addr>]`
 
-use dynp_bench::Report;
+use dynp_bench::{cli_args_and_watch, start_watch, Report};
 use dynp_insight::{analyze_groups, merge_lines, Options};
 use dynp_obs::JsonValue;
 use std::time::Instant;
@@ -104,7 +104,8 @@ fn validate_or_die(what: &str, json: &str) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_events: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
     let iters: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
     let ops = 100_000usize;
@@ -125,6 +126,19 @@ fn main() {
         let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
     });
     let event_in_cell_ns = per_op_ns(iters, ops, || emit_event(installed));
+
+    // Watch-layer span cost. With profiling off (the default when no
+    // watch server is started) span close pays one relaxed flag load on
+    // top of the plain traced span; with profiling on it also clones the
+    // kind and pushes a SpanRec into the profile buffer.
+    let span_watch_off_ns = per_op_ns(iters, ops, || {
+        let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
+    });
+    installed.set_profiling(true);
+    let span_profiled_ns = per_op_ns(iters, ops, || {
+        let _s = dynp_obs::span(std::hint::black_box("bench.traced"));
+    });
+    installed.set_profiling(false);
     drop(cell);
     let event_free_ns = per_op_ns(iters, ops, || emit_event(installed));
 
@@ -165,6 +179,7 @@ fn main() {
 
     // Report (installs its own rotating recorder — after all timing).
     let mut report = Report::new("obs_insight");
+    let _watch = start_watch(watch_addr.as_deref());
     report.line(format!(
         "Telemetry pipeline overhead (min of {iters} runs, {ops} ops each)"
     ));
@@ -174,6 +189,8 @@ fn main() {
         ("traced_span_no_recorder", span_disabled_ns),
         ("traced_span_null_recorder", span_null_ns),
         ("traced_span_in_cell", span_in_cell_ns),
+        ("traced_span_watch_off", span_watch_off_ns),
+        ("traced_span_profiling_on", span_profiled_ns),
         ("event_emit_null_free", event_free_ns),
         ("event_emit_null_in_cell", event_in_cell_ns),
         ("event_emit_ring", ring_ns),
@@ -208,6 +225,31 @@ fn main() {
     validate_or_die("BENCH_insight.json", &summary_json);
     std::fs::write("BENCH_insight.json", &summary_json).expect("writing BENCH_insight.json");
     eprintln!("wrote BENCH_insight.json");
+
+    // Watch overhead summary: the live telemetry layer must cost nothing
+    // when not started (watch_off vs. in_cell is noise), and profiling is
+    // the only per-span cost it can switch on.
+    let watch_summary = JsonValue::object()
+        .with("bench", "watch_overhead")
+        .with("iters", iters)
+        .with("ops_per_measurement", ops)
+        .with(
+            "span_ns",
+            JsonValue::object()
+                .with("no_recorder", span_disabled_ns)
+                .with("null_recorder", span_null_ns)
+                .with("in_cell", span_in_cell_ns)
+                .with("in_cell_watch_off", span_watch_off_ns)
+                .with("in_cell_profiling_on", span_profiled_ns),
+        )
+        .with(
+            "watch_off_overhead_ns",
+            span_watch_off_ns - span_in_cell_ns,
+        );
+    let watch_json = watch_summary.to_json_pretty();
+    validate_or_die("BENCH_watch.json", &watch_json);
+    std::fs::write("BENCH_watch.json", &watch_json).expect("writing BENCH_watch.json");
+    eprintln!("wrote BENCH_watch.json");
 
     report.set("emission", rows_json);
     report.set("analyze_secs", analyze_secs);

@@ -16,9 +16,9 @@
 //! `dynp_obs::json` parser.
 //!
 //! Usage: `cargo run --release -p dynp-bench --bin planner_hot \
-//!             [depths_csv=100,1000,5000] [iters=3]`
+//!             [depths_csv=100,1000,5000] [iters=3] [--watch <addr>]`
 
-use dynp_bench::{busy_snapshot, Report, CTC_NODES};
+use dynp_bench::{busy_snapshot, cli_args_and_watch, start_watch, Report, CTC_NODES};
 use dynp_core::{Decider, SelfTuning};
 use dynp_obs::JsonValue;
 use dynp_platform::ResourceProfile;
@@ -119,7 +119,8 @@ fn validate_or_die(what: &str, json: &str) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let depths: Vec<usize> = args
         .next()
         .unwrap_or_else(|| "100,1000,5000".into())
@@ -131,6 +132,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let mut report = Report::new("planner_hot");
+    let _watch = start_watch(watch_addr.as_deref());
     report.line(format!(
         "Planner hot path: full SelfTuning::step, pre-overhaul vs current \
          ({CTC_NODES}-node machine, {cores} core(s), min of {iters} runs)"

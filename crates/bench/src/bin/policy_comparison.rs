@@ -6,9 +6,9 @@
 //! average wait, SLDwA, utilization, plus dynP's switching behaviour.
 //! Writes `results/policy_comparison.{txt,json,events.jsonl}`.
 //!
-//! Usage: `cargo run --release -p dynp-bench --bin policy_comparison [n_jobs] [seed]`
+//! Usage: `cargo run --release -p dynp-bench --bin policy_comparison [n_jobs] [seed] [--watch <addr>]`
 
-use dynp_bench::{ctc_trace, fixed_run, selector_run, Report};
+use dynp_bench::{cli_args_and_watch, ctc_trace, fixed_run, selector_run, start_watch, Report};
 use dynp_core::{Decider, SelfTuning};
 use dynp_obs::JsonValue;
 use dynp_sched::{Metric, Policy};
@@ -25,11 +25,13 @@ fn summary_json(label: &str, s: &SimSummary) -> JsonValue {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2000);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
 
     let mut report = Report::new("policy_comparison");
+    let _watch = start_watch(watch_addr.as_deref());
 
     eprintln!("generating CTC-like trace: {n_jobs} jobs, seed {seed} ...");
     let trace = ctc_trace(n_jobs, seed);

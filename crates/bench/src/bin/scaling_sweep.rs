@@ -9,20 +9,25 @@
 //! in Table 1) and that compaction recovers most of the grid slack.
 //! Writes `results/scaling_sweep.{txt,json,events.jsonl}`.
 //!
-//! Usage: `cargo run --release -p dynp-bench --bin scaling_sweep [n_jobs] [seed]`
+//! Usage: `cargo run --release -p dynp-bench --bin scaling_sweep [n_jobs] [seed] [--watch <addr>]`
 
-use dynp_bench::{dynp_run_with_snapshots, small_trace, solve_snapshots, spread_sample, Report};
+use dynp_bench::{
+    cli_args_and_watch, dynp_run_with_snapshots, small_trace, solve_snapshots, spread_sample,
+    start_watch, Report,
+};
 use dynp_milp::{BranchLimits, SolveConfig};
 use dynp_obs::JsonValue;
 use dynp_sim::SnapshotFilter;
 use std::time::Duration;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
 
     let mut report = Report::new("scaling_sweep");
+    let _watch = start_watch(watch_addr.as_deref());
 
     eprintln!("generating trace and collecting snapshots ...");
     let trace = small_trace(n_jobs, seed, 64);

@@ -10,7 +10,7 @@
 //! `results/table1.{txt,json,events.jsonl}`; the JSON carries the full
 //! per-row data including each solve's incumbent/gap trajectory.
 //!
-//! Usage: `cargo run --release -p dynp-bench --bin table1 [n_jobs] [seed]`
+//! Usage: `cargo run --release -p dynp-bench --bin table1 [n_jobs] [seed] [--watch <addr>]`
 //!
 //! The paper's qualitative expectations (see EXPERIMENTS.md):
 //! * average performance loss in the ~1 % range (paper: 0.7 %),
@@ -19,8 +19,8 @@
 //!   and unpredictable between similar-sized instances.
 
 use dynp_bench::{
-    ctc_trace, dynp_run_with_snapshots, exact_run_json, solve_snapshots, spread_sample, Report,
-    Table1Averages, TABLE1_HEADER,
+    cli_args_and_watch, ctc_trace, dynp_run_with_snapshots, exact_run_json, solve_snapshots,
+    spread_sample, start_watch, Report, Table1Averages, TABLE1_HEADER,
 };
 use dynp_milp::{BranchLimits, SolveConfig};
 use dynp_obs::JsonValue;
@@ -28,12 +28,14 @@ use dynp_sim::SnapshotFilter;
 use std::time::Duration;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let (args, watch_addr) = cli_args_and_watch();
+    let mut args = args.into_iter();
     let n_jobs: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(1200);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(2004);
     let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(12);
 
     let mut report = Report::new("table1");
+    let _watch = start_watch(watch_addr.as_deref());
 
     eprintln!("generating CTC-like trace: {n_jobs} jobs, seed {seed} ...");
     let trace = ctc_trace(n_jobs, seed);

@@ -463,6 +463,9 @@ pub struct CampaignOutcome {
     /// Path of the OpenMetrics snapshot (`None` when no global recorder
     /// was installed, so there was nothing to expose).
     pub metrics_path: Option<PathBuf>,
+    /// Path of the collapsed-stack profile (`None` unless the global
+    /// recorder had span profiling enabled and captured spans).
+    pub folded_path: Option<PathBuf>,
 }
 
 /// One unit of campaign work, fully determined by config + trace.
@@ -523,13 +526,32 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
             .emit();
     }
 
+    // Progress gauges: the live source for `dynp-watch`'s `/progress`
+    // endpoint and for the stderr progress line below. Published before
+    // the pool starts so a poll during the very first cell already sees
+    // the totals.
+    let progress = dynp_obs::recorder().map(|r| {
+        r.gauge("exp.cells_total").set(cells.len() as i64);
+        r.gauge("exp.workers").set(config.workers.max(1) as i64);
+        r.gauge("exp.cells_done").set(0);
+        r.gauge("exp.cells_inflight").set(0);
+        (r.gauge("exp.cells_done"), r.gauge("exp.cells_inflight"))
+    });
+    let campaign_started = std::time::Instant::now();
     let campaign_id = dynp_obs::campaign_hash(&fingerprint);
     let computed = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
+    let cells_total = cells.len();
     let cell_results: Vec<JsonValue> = pool::run_indexed(config.workers, &cells, |i, cell| {
         if let Some(cached) = loaded.cells.get(&i) {
             resumed.fetch_add(1, Ordering::Relaxed);
+            if let Some((done, _)) = &progress {
+                done.add(1);
+            }
             return cached.clone();
+        }
+        if let Some((_, inflight)) = &progress {
+            inflight.add(1);
         }
         // Everything a cell does — replay, exact solves, the checkpoint
         // append, the completion event — runs under the cell's trace
@@ -539,7 +561,7 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         let cell_ctx = dynp_obs::enter_cell(campaign_id, i as u64);
         let data = run_cell(cell, config);
         log.append(&fingerprint, i, &data);
-        computed.fetch_add(1, Ordering::Relaxed);
+        let computed_now = computed.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(r) = dynp_obs::recorder() {
             r.event("exp.cell_done")
                 .kv("shard", cell.shard.index)
@@ -548,6 +570,24 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
                 .emit();
         }
         drop(cell_ctx);
+        let done_now = match &progress {
+            Some((done, inflight)) => {
+                inflight.add(-1);
+                done.add(1) as usize
+            }
+            None => computed_now + resumed.load(Ordering::Relaxed),
+        };
+        // One progress line per checkpoint flush. Resumed cells are
+        // read back in microseconds, so the ETA extrapolates from the
+        // computed-cell rate only.
+        let remaining = cells_total.saturating_sub(done_now);
+        let elapsed = campaign_started.elapsed().as_secs_f64();
+        let pct = 100.0 * done_now as f64 / cells_total.max(1) as f64;
+        let eta = remaining as f64 * elapsed / computed_now as f64;
+        eprintln!(
+            "campaign {}: {done_now}/{cells_total} cells ({pct:.0}%), ETA {eta:.0}s",
+            config.name
+        );
         // Flush per finished cell: a killed campaign keeps event logs
         // that cover exactly what the checkpoint covers.
         if let Some(r) = dynp_obs::recorder() {
@@ -571,6 +611,22 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         }
         None => None,
     };
+    // Collapsed-stack profile when the span-profiling hook was on:
+    // `inferno`/`flamegraph.pl` render it directly.
+    let folded_path = match dynp_obs::recorder() {
+        Some(r) if r.profiling_enabled() => {
+            let records = r.profile_records();
+            if records.is_empty() {
+                None
+            } else {
+                let path = config.output_dir.join(format!("{}.folded", config.name));
+                let profile = dynp_obs::profile_spans(&records);
+                std::fs::write(&path, dynp_obs::render_folded(&profile))?;
+                Some(path)
+            }
+        }
+        _ => None,
+    };
     drop(span);
 
     Ok(CampaignOutcome {
@@ -584,6 +640,7 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         report_json_path,
         report_text_path,
         metrics_path,
+        folded_path,
     })
 }
 

@@ -20,7 +20,7 @@
 //! repeated deterministic span ids across runs never collide.
 
 use crate::merge::MergedGroup;
-use dynp_obs::{Histogram, JsonValue};
+use dynp_obs::{Histogram, JsonValue, Profile, SpanRec};
 use std::collections::BTreeMap;
 
 /// Analyzer knobs.
@@ -98,11 +98,16 @@ fn opt_f64(v: Option<f64>) -> JsonValue {
 pub fn analyze_groups(groups: &[MergedGroup], opts: &Options) -> JsonValue {
     let mut span_hists: BTreeMap<String, Histogram> = BTreeMap::new();
     let mut recon = Reconciliation::default();
+    // Full-stream profile (cell + free spans), merged per run: the same
+    // fold that produces live `.folded` files, so the timing section's
+    // self times agree with them by construction.
+    let mut profile = Profile::default();
     let mut logical_groups = JsonValue::Array(Vec::new());
     let mut timing_groups = JsonValue::Array(Vec::new());
 
     for group in groups {
-        let (logical, timing) = analyze_group(group, opts, &mut span_hists, &mut recon);
+        let (logical, timing) =
+            analyze_group(group, opts, &mut span_hists, &mut recon, &mut profile);
         if let JsonValue::Array(items) = &mut logical_groups {
             items.push(logical);
         }
@@ -119,6 +124,13 @@ pub fn analyze_groups(groups: &[MergedGroup], opts: &Options) -> JsonValue {
         let mut kinds = JsonValue::object();
         for (kind, hist) in &span_hists {
             let snap = hist.snapshot();
+            // Self time comes from the tree fold, not the histogram:
+            // duration minus direct children, summed over the kind.
+            let self_ns = profile
+                .kinds
+                .get(kind.as_str())
+                .map(|stat| stat.self_ns)
+                .unwrap_or(0);
             kinds.set(
                 kind,
                 JsonValue::object()
@@ -129,7 +141,8 @@ pub fn analyze_groups(groups: &[MergedGroup], opts: &Options) -> JsonValue {
                     .with("p90_ns", opt_f64(snap.quantile(0.90).map(|v| v as f64)))
                     .with("p99_ns", opt_f64(snap.quantile(0.99).map(|v| v as f64)))
                     .with("max_ns", snap.max)
-                    .with("sum_ns", snap.sum),
+                    .with("sum_ns", snap.sum)
+                    .with("self_ns", self_ns),
             );
         }
         report = report.with(
@@ -148,14 +161,10 @@ pub fn analyze_groups(groups: &[MergedGroup], opts: &Options) -> JsonValue {
     report
 }
 
-fn analyze_group(
-    group: &MergedGroup,
-    opts: &Options,
-    span_hists: &mut BTreeMap<String, Histogram>,
-    recon: &mut Reconciliation,
-) -> (JsonValue, JsonValue) {
-    // Partition into runs at each campaign-start marker. Run 0 is the
-    // (possibly empty) prelude before the first marker.
+/// Partitions a group's events into runs at each `exp.campaign_start`
+/// marker. Run 0 is the (possibly empty, then dropped) prelude before
+/// the first marker.
+fn partition_runs(group: &MergedGroup) -> Vec<Vec<&crate::event::Event>> {
     let mut runs: Vec<Vec<&crate::event::Event>> = vec![Vec::new()];
     for ev in &group.events {
         if ev.target == "exp.campaign_start" {
@@ -166,11 +175,42 @@ fn analyze_group(
     if runs.first().is_some_and(Vec::is_empty) {
         runs.remove(0);
     }
+    runs
+}
+
+/// Rebuilds [`SpanRec`]s from one run's `span` close events — the
+/// offline twin of the recorder's live profiling hook. Both cell and
+/// free spans are kept; span ids are only meaningful within one run,
+/// which is why callers fold per run and [`Profile::merge`] the results.
+fn run_span_records(events: &[&crate::event::Event]) -> Vec<SpanRec> {
+    events
+        .iter()
+        .filter(|ev| ev.target == "span")
+        .filter_map(|ev| {
+            ev.span.map(|span| SpanRec {
+                cell: ev.cell,
+                span,
+                parent: ev.parent.unwrap_or(0),
+                kind: ev.s("kind").unwrap_or("?").to_string(),
+                dur_ns: ev.u("dur_ns").unwrap_or(0),
+            })
+        })
+        .collect()
+}
+
+fn analyze_group(
+    group: &MergedGroup,
+    opts: &Options,
+    span_hists: &mut BTreeMap<String, Histogram>,
+    recon: &mut Reconciliation,
+    profile: &mut Profile,
+) -> (JsonValue, JsonValue) {
+    let runs = partition_runs(group);
 
     let mut logical_runs = JsonValue::Array(Vec::new());
     let mut timing_runs = JsonValue::Array(Vec::new());
     for (index, events) in runs.iter().enumerate() {
-        let (logical, timing) = analyze_run(index, events, opts, span_hists, recon);
+        let (logical, timing) = analyze_run(index, events, opts, span_hists, recon, profile);
         if let JsonValue::Array(items) = &mut logical_runs {
             items.push(logical);
         }
@@ -209,6 +249,7 @@ fn analyze_run(
     opts: &Options,
     span_hists: &mut BTreeMap<String, Histogram>,
     recon: &mut Reconciliation,
+    profile: &mut Profile,
 ) -> (JsonValue, JsonValue) {
     let start = events.first().filter(|e| e.target == "exp.campaign_start");
     let fingerprint = start.and_then(|e| e.s("fingerprint")).map(str::to_string);
@@ -226,6 +267,13 @@ fn analyze_run(
     let mut milp_exits: Vec<MilpExit> = Vec::new();
     let mut dynp_decisions = 0u64;
     let mut dynp_switches = 0u64;
+    // Online alert census: transitions by rule, split by direction. The
+    // rates and p99s that drive alerts are wall-clock quantities, so the
+    // census lives in the timing section (a watched run and an identical
+    // unwatched run must still produce byte-identical logical sections).
+    let mut alert_firing: BTreeMap<String, u64> = BTreeMap::new();
+    let mut alert_resolved = 0u64;
+    let mut alert_summaries = 0u64;
 
     for ev in events {
         if let Some(cell) = ev.cell {
@@ -272,30 +320,36 @@ fn analyze_run(
                     dynp_switches += 1;
                 }
             }
+            "alert" => {
+                let rule = ev.s("rule").unwrap_or("?").to_string();
+                if ev.s("state") == Some("firing") {
+                    *alert_firing.entry(rule).or_insert(0) += 1;
+                } else {
+                    alert_resolved += 1;
+                }
+            }
+            "alert.summary" => alert_summaries += 1,
             _ => {}
         }
     }
 
+    let span_records = run_span_records(events);
     // Structure: every non-root span must hang off a span of its cell.
-    let mut orphan_spans = 0u64;
-    for agg in cells.values() {
-        let mut child_sums: BTreeMap<u64, u64> = BTreeMap::new();
-        for close in agg.spans.values() {
-            if close.parent != 0 {
-                if agg.spans.contains_key(&close.parent) {
-                    *child_sums.entry(close.parent).or_insert(0) += close.dur_ns;
-                } else {
-                    orphan_spans += 1;
-                }
-            }
-        }
-        for (parent, sum) in child_sums {
-            recon.parents_checked += 1;
-            if sum > agg.spans[&parent].dur_ns {
-                recon.violations += 1;
-            }
-        }
-    }
+    // Both invariants are checked by the same fold that builds live
+    // `.folded` profiles; restricted to cell spans here so the logical
+    // `orphan_spans` count never depends on what ran outside cells.
+    let cell_profile = dynp_obs::profile_spans(
+        &span_records
+            .iter()
+            .filter(|rec| rec.cell.is_some())
+            .cloned()
+            .collect::<Vec<_>>(),
+    );
+    let orphan_spans = cell_profile.orphans;
+    recon.parents_checked += cell_profile.parents_checked;
+    recon.violations += cell_profile.violations;
+    // The full fold (cell + free spans) feeds the timing self times.
+    profile.merge(&dynp_obs::profile_spans(&span_records));
 
     // The "CPLEX still running" census: Feasible means the budget ran
     // out with an incumbent in hand; Infeasible/Unknown mean not even
@@ -405,10 +459,22 @@ fn analyze_run(
         Some((cell, _)) => critical_path_json(*cell, &cells[cell]),
         None => JsonValue::Array(Vec::new()),
     };
+    let mut by_rule = JsonValue::object();
+    for (rule, count) in &alert_firing {
+        by_rule.set(rule, *count);
+    }
     let timing = JsonValue::object()
         .with("run", index)
         .with("slowest_cells", slowest_cells)
-        .with("critical_path", critical_path);
+        .with("critical_path", critical_path)
+        .with(
+            "alerts",
+            JsonValue::object()
+                .with("firing", alert_firing.values().sum::<u64>())
+                .with("resolved", alert_resolved)
+                .with("summaries", alert_summaries)
+                .with("by_rule", by_rule),
+        );
     (logical, timing)
 }
 
@@ -444,12 +510,37 @@ fn critical_path_json(cell: u64, agg: &CellAgg) -> JsonValue {
 /// Convenience: discover, merge, and analyze everything under `path`
 /// (a results directory, one log file, or a rotated base file).
 pub fn analyze_path(path: &std::path::Path, opts: &Options) -> std::io::Result<JsonValue> {
+    Ok(analyze_groups(&merged_groups(path)?, opts))
+}
+
+/// Discovers and merges every log group under `path`.
+fn merged_groups(path: &std::path::Path) -> std::io::Result<Vec<MergedGroup>> {
     let groups = crate::merge::discover(path)?;
     let mut merged = Vec::with_capacity(groups.len());
     for g in &groups {
         merged.push(crate::merge::merge_group(g)?);
     }
-    Ok(analyze_groups(&merged, opts))
+    Ok(merged)
+}
+
+/// Rebuilds the collapsed-stack profile of merged event streams: the
+/// offline equivalent of a live `.folded` file, folding each run's span
+/// trees and merging them (per-run folds keep deterministic cell span
+/// ids from colliding across runs).
+pub fn profile_groups(groups: &[MergedGroup]) -> Profile {
+    let mut profile = Profile::default();
+    for group in groups {
+        for events in partition_runs(group) {
+            profile.merge(&dynp_obs::profile_spans(&run_span_records(&events)));
+        }
+    }
+    profile
+}
+
+/// [`profile_groups`] over everything discovered under `path` (the
+/// `fold` subcommand).
+pub fn profile_path(path: &std::path::Path) -> std::io::Result<Profile> {
+    Ok(profile_groups(&merged_groups(path)?))
 }
 
 /// A short human-readable summary of a report (the `--text` view).

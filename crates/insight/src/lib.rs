@@ -18,8 +18,13 @@
 //!   worker count.
 //! * [`diff`] — regression-compares two reports: logical differences
 //!   fail, timing shifts are notes.
+//! * [`analyze::profile_groups`] — rebuilds the collapsed-stack profile
+//!   (per-kind self times, `flamegraph.pl`-compatible folded stacks)
+//!   from the same span events, using the same `dynp_obs::profile` fold
+//!   as live `.folded` files, so online and offline profiles agree.
 //!
-//! The `dynp-insight` binary wraps these as `analyze`, `diff`, and
+//! The `dynp-insight` binary wraps these as `analyze`, `diff`, `fold`
+//! (collapsed stacks, with `--diff` against a baseline `.folded`), and
 //! `check-metrics` (OpenMetrics validation) subcommands.
 //!
 //! Like `dynp-obs`, this crate is std-only: its only dependency is
@@ -31,7 +36,9 @@ pub mod diff;
 pub mod event;
 pub mod merge;
 
-pub use analyze::{analyze_groups, analyze_path, render_text, Options};
+pub use analyze::{
+    analyze_groups, analyze_path, profile_groups, profile_path, render_text, Options,
+};
 pub use diff::{diff_reports, DiffOutcome};
 pub use event::{parse_line, Event};
 pub use merge::{discover, group_for, merge_group, merge_lines, LogGroup, MergedGroup};

@@ -3,6 +3,7 @@
 //! ```text
 //! dynp-insight analyze <path>... [--logical] [--text] [--top N] [--out FILE]
 //! dynp-insight diff <baseline.json> <candidate.json>
+//! dynp-insight fold <path> [--out FILE] [--diff BASELINE.folded]
 //! dynp-insight check-metrics <snapshot.metrics.txt>
 //! ```
 //!
@@ -11,17 +12,22 @@
 //! JSON. `--logical` restricts it to the worker-count-independent
 //! section (the golden-file mode CI diffs); `--text` prints the human
 //! summary instead. `diff` exits nonzero when the logical sections
-//! differ; timing shifts are printed as notes only. `check-metrics`
-//! validates an OpenMetrics snapshot with the strict parser.
+//! differ; timing shifts are printed as notes only. `fold` rebuilds
+//! the collapsed-stack profile from the span events (the offline twin
+//! of a live `.folded` file); with `--diff` it prints per-stack self
+//! time deltas against a baseline instead. `check-metrics` validates
+//! an OpenMetrics snapshot with the strict parser.
 
-use dynp_insight::{analyze_groups, diff_reports, discover, merge_group, render_text, Options};
+use dynp_insight::{
+    analyze_groups, diff_reports, discover, merge_group, profile_path, render_text, Options,
+};
 use dynp_obs::JsonValue;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dynp-insight analyze <path>... [--logical] [--text] [--top N] [--out FILE]\n  dynp-insight diff <baseline.json> <candidate.json>\n  dynp-insight check-metrics <snapshot.metrics.txt>"
+        "usage:\n  dynp-insight analyze <path>... [--logical] [--text] [--top N] [--out FILE]\n  dynp-insight diff <baseline.json> <candidate.json>\n  dynp-insight fold <path> [--out FILE] [--diff BASELINE.folded]\n  dynp-insight check-metrics <snapshot.metrics.txt>"
     );
     ExitCode::from(2)
 }
@@ -36,6 +42,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("analyze") => analyze_cmd(&args[1..]),
         Some("diff") => diff_cmd(&args[1..]),
+        Some("fold") => fold_cmd(&args[1..]),
         Some("check-metrics") => check_metrics_cmd(&args[1..]),
         _ => usage(),
     }
@@ -131,6 +138,75 @@ fn diff_cmd(args: &[String]) -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+fn fold_cmd(args: &[String]) -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            "--diff" => match it.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => return usage(),
+            },
+            other if other.starts_with("--") => return usage(),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    let [path] = paths.as_slice() else {
+        return usage();
+    };
+    let profile = match profile_path(path) {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("cannot profile {}: {e}", path.display())),
+    };
+    let rendered = match baseline {
+        None => dynp_obs::render_folded(&profile),
+        Some(base_path) => {
+            let text = match std::fs::read_to_string(&base_path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("cannot read {}: {e}", base_path.display())),
+            };
+            let base = match dynp_obs::profile::parse_folded(&text) {
+                Ok(b) => b,
+                Err(e) => return fail(&format!("{}: {e}", base_path.display())),
+            };
+            render_folded_diff(&base, &profile.stacks)
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                return fail(&format!("cannot write {}: {e}", path.display()));
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// One `stack baseline candidate delta` line per stack present on
+/// either side, sorted by stack — a regression-friendly self-time diff.
+fn render_folded_diff(
+    base: &std::collections::BTreeMap<String, u64>,
+    cand: &std::collections::BTreeMap<String, u64>,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let stacks: std::collections::BTreeSet<&String> = base.keys().chain(cand.keys()).collect();
+    for stack in stacks {
+        let b = base.get(stack).copied().unwrap_or(0);
+        let c = cand.get(stack).copied().unwrap_or(0);
+        let _ = writeln!(out, "{stack} {b} {c} {:+}", c as i128 - b as i128);
+    }
+    out
 }
 
 fn check_metrics_cmd(args: &[String]) -> ExitCode {

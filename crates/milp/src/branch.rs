@@ -549,6 +549,11 @@ impl<'a> BranchBound<'a> {
             });
         }
         if let Some(r) = obs {
+            if hit_limit {
+                // Budget-exhausted solves are what the online
+                // "milp-budget-exhaustion" alert rate-watches.
+                r.counter("milp.budget_exhausted").inc();
+            }
             r.event("milp.exit")
                 .kv("status", format!("{status:?}"))
                 .kv("nodes", nodes_explored)

@@ -1,0 +1,388 @@
+//! Online alert rules: declarative thresholds evaluated against a live
+//! [`Recorder`] on a sampling tick.
+//!
+//! A [`Rule`] names a metric and a bound; an [`AlertSet`] owns a set of
+//! rules plus their evaluation state. Each [`AlertSet::evaluate`] call
+//! samples the recorder and flips rules between *ok* and *firing*;
+//! every transition is appended to the event log as an `"alert"` event
+//! (so `dynp-insight` sees the same history a live `/alerts` poll
+//! does), and [`AlertSet::summary`] totals the firings for the
+//! shutdown report.
+//!
+//! Three rule shapes cover the operational questions a long campaign
+//! raises (rates use the recorder's own monotonic clock, so evaluation
+//! frequency does not change what a rule means):
+//!
+//! * **counter rate** — e.g. "budget-exhaustion rate > 0.5/s";
+//! * **gauge threshold** — last value or high-water mark above a bound,
+//!   e.g. "open-list high-water > 100k";
+//! * **histogram p99 bound** — e.g. "cell latency p99 > 60 s".
+
+use crate::json::JsonValue;
+use crate::recorder::Recorder;
+
+/// What a [`Rule`] samples and compares.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RuleKind {
+    /// Fires while the named counter grows faster than `per_sec`
+    /// (measured between consecutive evaluations; the first evaluation
+    /// only primes the sample).
+    CounterRate {
+        /// Counter metric name, e.g. `milp.budget_exhausted`.
+        counter: String,
+        /// Rate bound in increments per second.
+        per_sec: f64,
+    },
+    /// Fires while the named gauge is above `threshold`.
+    GaugeAbove {
+        /// Gauge metric name, e.g. `milp.open_nodes`.
+        gauge: String,
+        /// Exclusive bound on the sampled value.
+        threshold: i64,
+        /// Compare the high-water mark instead of the last value; a
+        /// high-water rule never resolves by itself.
+        high_water: bool,
+    },
+    /// Fires while the named histogram's p99 is above `threshold`
+    /// (same unit as the histogram's samples — nanoseconds for span
+    /// histograms).
+    HistogramP99Above {
+        /// Histogram metric name, e.g. `exp.cell`.
+        histogram: String,
+        /// Exclusive bound on the p99 sample value.
+        threshold: u64,
+    },
+}
+
+/// A named alert rule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rule {
+    /// Stable rule name: the key in `/alerts`, alert events, and the
+    /// shutdown summary.
+    pub name: String,
+    /// The sampled condition.
+    pub kind: RuleKind,
+}
+
+impl Rule {
+    /// A counter-rate rule: fires while `counter` grows faster than
+    /// `per_sec` increments per second.
+    pub fn counter_rate(name: &str, counter: &str, per_sec: f64) -> Rule {
+        Rule {
+            name: name.to_string(),
+            kind: RuleKind::CounterRate {
+                counter: counter.to_string(),
+                per_sec,
+            },
+        }
+    }
+
+    /// A gauge-threshold rule on the last written value.
+    pub fn gauge_above(name: &str, gauge: &str, threshold: i64) -> Rule {
+        Rule {
+            name: name.to_string(),
+            kind: RuleKind::GaugeAbove {
+                gauge: gauge.to_string(),
+                threshold,
+                high_water: false,
+            },
+        }
+    }
+
+    /// A gauge-threshold rule on the high-water mark (never resolves
+    /// once fired).
+    pub fn high_water_above(name: &str, gauge: &str, threshold: i64) -> Rule {
+        Rule {
+            name: name.to_string(),
+            kind: RuleKind::GaugeAbove {
+                gauge: gauge.to_string(),
+                threshold,
+                high_water: true,
+            },
+        }
+    }
+
+    /// A histogram-p99 rule (nanoseconds for span histograms).
+    pub fn p99_above(name: &str, histogram: &str, threshold: u64) -> Rule {
+        Rule {
+            name: name.to_string(),
+            kind: RuleKind::HistogramP99Above {
+                histogram: histogram.to_string(),
+                threshold,
+            },
+        }
+    }
+
+    fn metric(&self) -> &str {
+        match &self.kind {
+            RuleKind::CounterRate { counter, .. } => counter,
+            RuleKind::GaugeAbove { gauge, .. } => gauge,
+            RuleKind::HistogramP99Above { histogram, .. } => histogram,
+        }
+    }
+
+    fn threshold(&self) -> f64 {
+        match &self.kind {
+            RuleKind::CounterRate { per_sec, .. } => *per_sec,
+            RuleKind::GaugeAbove { threshold, .. } => *threshold as f64,
+            RuleKind::HistogramP99Above { threshold, .. } => *threshold as f64,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct RuleState {
+    firing: bool,
+    /// ok → firing transitions observed.
+    fired: u64,
+    /// Last sampled value (rate, gauge value, or p99).
+    value: Option<f64>,
+    /// Previous `(elapsed_secs, counter)` sample for rate rules.
+    prev_counter: Option<(f64, u64)>,
+}
+
+/// A rule set plus its evaluation state.
+#[derive(Debug, Default)]
+pub struct AlertSet {
+    rules: Vec<(Rule, RuleState)>,
+}
+
+impl AlertSet {
+    /// A fresh set; nothing is firing until the first
+    /// [`AlertSet::evaluate`] call.
+    pub fn new(rules: Vec<Rule>) -> AlertSet {
+        AlertSet {
+            rules: rules
+                .into_iter()
+                .map(|r| (r, RuleState::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set has no rules (evaluation is then a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules currently firing.
+    pub fn firing(&self) -> usize {
+        self.rules.iter().filter(|(_, s)| s.firing).count()
+    }
+
+    /// Samples `recorder` and updates every rule, emitting one `alert`
+    /// event per state transition. Returns how many rules *started*
+    /// firing during this evaluation.
+    pub fn evaluate(&mut self, recorder: &Recorder) -> usize {
+        let now = recorder.elapsed_secs();
+        let counters = recorder.counter_snapshots();
+        let gauges = recorder.gauge_snapshots();
+        let mut started = 0usize;
+        for (rule, state) in &mut self.rules {
+            let (value, breach) = match &rule.kind {
+                RuleKind::CounterRate { counter, per_sec } => {
+                    let current = counters
+                        .iter()
+                        .find(|(name, _)| *name == counter.as_str())
+                        .map(|(_, v)| *v)
+                        .unwrap_or(0);
+                    let rate = state.prev_counter.and_then(|(t, v)| {
+                        let dt = now - t;
+                        (dt > 0.0).then(|| current.saturating_sub(v) as f64 / dt)
+                    });
+                    state.prev_counter = Some((now, current));
+                    (rate, rate.is_some_and(|r| r > *per_sec))
+                }
+                RuleKind::GaugeAbove {
+                    gauge,
+                    threshold,
+                    high_water,
+                } => {
+                    let sampled = gauges
+                        .iter()
+                        .find(|(name, ..)| *name == gauge.as_str())
+                        .map(|(_, last, high)| if *high_water { *high } else { *last });
+                    (
+                        sampled.map(|v| v as f64),
+                        sampled.is_some_and(|v| v > *threshold),
+                    )
+                }
+                RuleKind::HistogramP99Above {
+                    histogram,
+                    threshold,
+                } => {
+                    let p99 = recorder
+                        .histogram_snapshots()
+                        .iter()
+                        .find(|(name, _)| *name == histogram.as_str())
+                        .and_then(|(_, snap)| snap.quantile(0.99));
+                    (
+                        p99.map(|v| v as f64),
+                        p99.is_some_and(|v| v > *threshold),
+                    )
+                }
+            };
+            state.value = value;
+            if breach != state.firing {
+                state.firing = breach;
+                if breach {
+                    state.fired += 1;
+                    started += 1;
+                }
+                recorder
+                    .event("alert")
+                    .kv("rule", rule.name.as_str())
+                    .kv("metric", rule.metric())
+                    .kv("state", if breach { "firing" } else { "resolved" })
+                    .kv(
+                        "value",
+                        match value {
+                            Some(v) => JsonValue::from(v),
+                            None => JsonValue::Null,
+                        },
+                    )
+                    .kv("threshold", rule.threshold())
+                    .emit();
+            }
+        }
+        started
+    }
+
+    /// Current state of every rule, for `GET /alerts`: name, metric,
+    /// threshold, last sampled value, firing flag, and firing count.
+    pub fn to_json(&self) -> JsonValue {
+        let mut rules = JsonValue::array();
+        for (rule, state) in &self.rules {
+            rules.push(
+                JsonValue::object()
+                    .with("rule", rule.name.as_str())
+                    .with("metric", rule.metric())
+                    .with("threshold", rule.threshold())
+                    .with(
+                        "value",
+                        match state.value {
+                            Some(v) => JsonValue::from(v),
+                            None => JsonValue::Null,
+                        },
+                    )
+                    .with("firing", state.firing)
+                    .with("fired", state.fired),
+            );
+        }
+        JsonValue::object()
+            .with("firing", self.firing())
+            .with("rules", rules)
+    }
+
+    /// Shutdown totals: `rule → fired count`, plus how many rules were
+    /// still firing at the end.
+    pub fn summary(&self) -> JsonValue {
+        let mut fired = JsonValue::object();
+        for (rule, state) in &self.rules {
+            fired.set(&rule.name, state.fired);
+        }
+        JsonValue::object()
+            .with("rules", self.rules.len())
+            .with("still_firing", self.firing())
+            .with("fired", fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Sink;
+
+    fn alert_events(r: &Recorder) -> Vec<String> {
+        r.events()
+            .into_iter()
+            .filter(|l| l.contains("\"target\":\"alert\""))
+            .collect()
+    }
+
+    #[test]
+    fn gauge_rule_fires_and_resolves_with_transition_events() {
+        let r = Recorder::new(Sink::memory());
+        let mut set = AlertSet::new(vec![Rule::gauge_above("deep-queue", "q", 10)]);
+        assert_eq!(set.evaluate(&r), 0, "unregistered gauge must not fire");
+        r.gauge("q").set(25);
+        assert_eq!(set.evaluate(&r), 1);
+        assert_eq!(set.firing(), 1);
+        // Still breached: no new transition, no new event.
+        assert_eq!(set.evaluate(&r), 0);
+        r.gauge("q").set(3);
+        assert_eq!(set.evaluate(&r), 0);
+        assert_eq!(set.firing(), 0);
+        let events = alert_events(&r);
+        assert_eq!(events.len(), 2, "one firing + one resolved: {events:?}");
+        assert!(events[0].contains("\"state\":\"firing\""));
+        assert!(events[0].contains("\"rule\":\"deep-queue\""));
+        assert!(events[1].contains("\"state\":\"resolved\""));
+        for line in &events {
+            crate::json::validate(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn high_water_rule_does_not_resolve() {
+        let r = Recorder::new(Sink::memory());
+        let mut set = AlertSet::new(vec![Rule::high_water_above("hw", "q", 10)]);
+        r.gauge("q").set(25);
+        r.gauge("q").set(1);
+        set.evaluate(&r);
+        set.evaluate(&r);
+        assert_eq!(set.firing(), 1, "high-water stays breached");
+    }
+
+    #[test]
+    fn counter_rate_needs_two_samples_and_tracks_growth() {
+        let r = Recorder::new(Sink::memory());
+        let mut set = AlertSet::new(vec![Rule::counter_rate("hot", "c", 0.0)]);
+        r.counter("c").add(5);
+        // First evaluation primes the sample; no rate yet.
+        assert_eq!(set.evaluate(&r), 0);
+        // Growth between samples at threshold 0/s must fire.
+        r.counter("c").add(5);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(set.evaluate(&r), 1);
+        // No growth: rate 0 is not > 0, so it resolves.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert_eq!(set.evaluate(&r), 0);
+        assert_eq!(set.firing(), 0);
+    }
+
+    #[test]
+    fn p99_rule_samples_the_histogram() {
+        let r = Recorder::new(Sink::memory());
+        let mut set = AlertSet::new(vec![Rule::p99_above("slow", "lat", 1_000)]);
+        r.histogram("lat").record(10);
+        set.evaluate(&r);
+        assert_eq!(set.firing(), 0);
+        r.histogram("lat").record(1_000_000);
+        set.evaluate(&r);
+        assert_eq!(set.firing(), 1);
+    }
+
+    #[test]
+    fn json_views_are_strict_and_complete() {
+        let r = Recorder::new(Sink::memory());
+        let mut set = AlertSet::new(vec![
+            Rule::gauge_above("a", "g", 0),
+            Rule::p99_above("b", "h", 7),
+        ]);
+        r.gauge("g").set(5);
+        set.evaluate(&r);
+        let view = set.to_json().to_json();
+        crate::json::validate(&view).unwrap();
+        assert!(view.contains("\"rule\":\"a\""));
+        assert!(view.contains("\"firing\":true"));
+        let summary = set.summary().to_json();
+        crate::json::validate(&summary).unwrap();
+        assert!(summary.contains("\"a\":1"));
+        assert!(summary.contains("\"b\":0"));
+    }
+}

@@ -27,6 +27,7 @@ use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use crate::profile::SpanRec;
 use crate::recorder::{recorder, Recorder};
 
 /// The correlation fields stamped on events emitted under a context.
@@ -163,14 +164,28 @@ pub fn span(kind: &'static str) -> SpanGuard {
     }
 }
 
-fn emit_span_close(r: &Recorder, kind: &str, started: Instant) {
-    // The frame is still on the stack here, so the event picks up this
-    // span's own id (not the parent's) from the thread-local context.
+/// Everything a closing span guard does while its frame is still on
+/// the stack: emit the close event (which picks up this span's own id
+/// from the thread-local context), feed the kind-named histogram, and —
+/// when the recorder's profiling hook is on — capture a [`SpanRec`] for
+/// collapsed-stack export. One `elapsed()` read feeds all three, so the
+/// event, the histogram, and the profile agree exactly.
+fn close_span(r: &Recorder, kind: &'static str, started: Instant) {
     let dur = started.elapsed();
-    r.event("span")
-        .kv("kind", kind)
-        .kv("dur_ns", u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX))
-        .emit();
+    let dur_ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    r.event("span").kv("kind", kind).kv("dur_ns", dur_ns).emit();
+    r.histogram(kind).record_duration(dur);
+    if r.profiling_enabled() {
+        if let Some(ctx) = current() {
+            r.record_profile(SpanRec {
+                cell: ctx.in_cell.then_some(ctx.cell),
+                span: ctx.span,
+                parent: ctx.parent,
+                kind: kind.to_string(),
+                dur_ns,
+            });
+        }
+    }
 }
 
 /// RAII guard of a cell context; see [`enter_cell`].
@@ -184,8 +199,7 @@ pub struct CellGuard {
 impl Drop for CellGuard {
     fn drop(&mut self) {
         if let Some((r, started, saved_next_span)) = self.state.take() {
-            emit_span_close(r, "exp.cell", started);
-            r.histogram("exp.cell").record_duration(started.elapsed());
+            close_span(r, "exp.cell", started);
             STATE.with(|s| {
                 let mut s = s.borrow_mut();
                 s.frames.pop();
@@ -206,8 +220,7 @@ pub struct SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((r, kind, started)) = self.state.take() {
-            emit_span_close(r, kind, started);
-            r.histogram(kind).record_duration(started.elapsed());
+            close_span(r, kind, started);
             STATE.with(|s| {
                 s.borrow_mut().frames.pop();
             });
@@ -325,6 +338,36 @@ mod tests {
         assert!(events[0].get("campaign").is_none());
         assert!(u(&events[0], "span") >= FREE_SPAN_BASE);
         assert_eq!(u(&events[0], "parent"), 0);
+    }
+
+    #[test]
+    fn profiling_captures_spans_agreeing_with_close_events() {
+        let (r, _guard) = fresh();
+        r.set_profiling(true);
+        {
+            let _cell = enter_cell(1, 2);
+            let _a = span("stage.a");
+        }
+        {
+            let _free = span("free.stage");
+        }
+        let recs = r.profile_records();
+        assert_eq!(recs.len(), 3);
+        let base = cell_span_base(2);
+        assert_eq!(recs[0].kind, "stage.a");
+        assert_eq!(recs[0].cell, Some(2));
+        assert_eq!((recs[0].span, recs[0].parent), (base + 1, base));
+        assert_eq!(recs[1].kind, "exp.cell");
+        assert_eq!((recs[1].span, recs[1].parent), (base, 0));
+        assert_eq!(recs[2].cell, None);
+        assert_eq!(recs[2].parent, 0);
+        // The captured durations are the emitted close events' dur_ns,
+        // byte for byte — one clock read feeds both.
+        let events = parsed_events(r);
+        for (rec, ev) in recs.iter().zip(&events) {
+            assert_eq!(u(ev, "dur_ns"), rec.dur_ns);
+            assert_eq!(u(ev, "span"), rec.span);
+        }
     }
 
     #[test]

@@ -77,6 +77,17 @@ pub fn render(recorder: &Recorder) -> String {
         let _ = writeln!(out, "# TYPE {family}_highwater gauge");
         let _ = writeln!(out, "{family}_highwater {high}");
     }
+    // Sink self-diagnostics: a scrape can see event loss (bounded ring)
+    // or log rotation without waiting for offline analysis.
+    let sink = recorder.sink_stats();
+    if let Some(dropped) = sink.dropped {
+        let _ = writeln!(out, "# TYPE dynp_obs_events_dropped gauge");
+        let _ = writeln!(out, "dynp_obs_events_dropped {dropped}");
+    }
+    if let Some(rotations) = sink.rotations {
+        let _ = writeln!(out, "# TYPE dynp_obs_sink_rotations gauge");
+        let _ = writeln!(out, "dynp_obs_sink_rotations {rotations}");
+    }
     for (name, snap) in recorder.histogram_snapshots() {
         render_histogram(&mut out, &family_name(name), &snap);
     }
@@ -134,6 +145,11 @@ fn parse_sample(line: &str) -> Result<(&str, Option<&str>, f64), String> {
     let value: f64 = value_part
         .parse()
         .map_err(|_| format!("unparseable sample value in {line:?}"))?;
+    // Rust's f64 parser accepts "NaN"/"inf"; neither is a value this
+    // exposition ever renders, so reject rather than propagate.
+    if !value.is_finite() {
+        return Err(format!("non-finite sample value in {line:?}"));
+    }
     if let Some((name, labels)) = name_part.split_once('{') {
         let labels = labels
             .strip_suffix('}')
@@ -340,6 +356,70 @@ mod tests {
         ] {
             assert!(validate(bad).is_err(), "expected rejection: {why}");
         }
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_values() {
+        // f64::parse happily accepts all of these spellings, so the
+        // validator must catch them itself.
+        for value in ["NaN", "nan", "inf", "-inf", "Infinity"] {
+            let text = format!("# TYPE dynp_x gauge\ndynp_x {value}\n# EOF\n");
+            let err = validate(&text).unwrap_err();
+            assert!(err.contains("non-finite"), "{value}: {err}");
+        }
+        // Plain finite floats stay fine.
+        validate("# TYPE dynp_x gauge\ndynp_x -1.5e3\n# EOF\n").unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_label_escaping_games() {
+        for (labels, why) in [
+            (r#"le="a\"b""#, "escaped quote inside le"),
+            (r#"le="1",x="2""#, "second label"),
+            (r#"foo="1""#, "non-le label"),
+            (r#"le='1'"#, "single quotes"),
+            (r#"le="1"#, "unterminated quote"),
+        ] {
+            let text = format!(
+                "# TYPE dynp_h histogram\ndynp_h_bucket{{{labels}}} 1\ndynp_h_bucket{{le=\"+Inf\"}} 1\ndynp_h_sum 1\ndynp_h_count 1\n# EOF\n"
+            );
+            assert!(validate(&text).is_err(), "expected rejection: {why}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_empty_family_names() {
+        assert!(validate("# TYPE  counter\n_total 1\n# EOF\n").is_err());
+        assert!(validate("# TYPE bad-name counter\nbad-name_total 1\n# EOF\n").is_err());
+    }
+
+    #[test]
+    fn ring_drop_and_rotation_gauges_are_exposed() {
+        let ring = Recorder::new(Sink::ring(1));
+        ring.event("a").emit();
+        ring.event("b").emit();
+        ring.event("c").emit();
+        let text = render(&ring);
+        validate(&text).unwrap();
+        assert!(text.contains("# TYPE dynp_obs_events_dropped gauge\ndynp_obs_events_dropped 2\n"));
+        assert!(!text.contains("dynp_obs_sink_rotations"));
+
+        let dir = std::env::temp_dir().join("dynp_obs_expo_rotations_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rot = Recorder::new(Sink::rotating(dir.join("ev.jsonl"), 64, 2).unwrap());
+        for _ in 0..10 {
+            rot.event("tick").kv("pad", "xxxxxxxxxxxxxxxx").emit();
+        }
+        let text = render(&rot);
+        validate(&text).unwrap();
+        assert!(text.contains("# TYPE dynp_obs_sink_rotations gauge"), "{text}");
+        assert!(!text.contains("dynp_obs_events_dropped"));
+
+        // Memory sinks expose neither — they cannot lose lines.
+        let text = render(&Recorder::new(Sink::memory()));
+        assert!(!text.contains("dynp_obs_"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,16 @@
 //!   `dynp-insight` analyzer can rebuild the causal tree independent of
 //!   worker count.
 //! * **Exposition** — [`expo`] renders a recorder snapshot in the
-//!   OpenMetrics/Prometheus text format (and strictly validates it).
+//!   OpenMetrics/Prometheus text format (and strictly validates it),
+//!   including sink self-diagnostics (ring drops, log rotations).
+//! * **Profiling** — an opt-in hook ([`Recorder::set_profiling`])
+//!   captures every closed trace-context span; [`profile`] folds the
+//!   records into per-kind self times and `flamegraph.pl`-compatible
+//!   collapsed stacks, checking the parent ≥ Σ children invariant on
+//!   the way.
+//! * **Alerts** — declarative online [`alert::Rule`]s (counter rate,
+//!   gauge threshold, histogram p99 bound) evaluated on a sampling
+//!   tick by an [`AlertSet`]; state transitions land in the event log.
 //!
 //! The [`Recorder`] owns the metric registries and the event sink.
 //! Production code uses the optional process-global recorder:
@@ -45,13 +54,17 @@
 //! assert_eq!(r.events().len(), 1);
 //! ```
 
+pub mod alert;
 pub mod context;
 pub mod expo;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 mod recorder;
 
+pub use alert::{AlertSet, Rule, RuleKind};
 pub use context::{campaign_hash, cell_span_base, enter_cell, span, CellGuard, SpanGuard, TraceContext};
 pub use json::{parse as parse_json, validate as validate_json, JsonValue};
 pub use metrics::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};
-pub use recorder::{install, flush_on_drop, recorder, EventBuilder, FlushGuard, Recorder, Sink, Span};
+pub use profile::{profile_spans, render_folded, KindStat, Profile, SpanRec};
+pub use recorder::{install, flush_on_drop, recorder, EventBuilder, FlushGuard, Recorder, Sink, SinkStats, Span};

@@ -56,6 +56,16 @@ impl Gauge {
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Shifts the current value by `delta` (e.g. ±1 around an in-flight
+    /// section) and returns the new value; the high-water mark tracks
+    /// the result. Unlike [`Gauge::set`], concurrent `add`s never lose
+    /// updates.
+    pub fn add(&self, delta: i64) -> i64 {
+        let v = self.last.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.max.fetch_max(v, Ordering::Relaxed);
+        v
+    }
+
     /// Last value written.
     pub fn get(&self) -> i64 {
         self.last.load(Ordering::Relaxed)

@@ -20,12 +20,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use crate::json::JsonValue;
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::profile::SpanRec;
 
 /// A bounded in-memory event buffer: keeps the most recent lines, counts
 /// the ones it had to drop.
@@ -46,6 +47,8 @@ pub struct RotatingWriter {
     max_bytes: u64,
     max_rotated: usize,
     written: u64,
+    /// Rotations performed since this sink was created.
+    rotations: u64,
     writer: std::io::BufWriter<std::fs::File>,
 }
 
@@ -74,6 +77,7 @@ impl RotatingWriter {
             self.writer = std::io::BufWriter::new(f);
         }
         self.written = 0;
+        self.rotations += 1;
     }
 
     fn write_line(&mut self, line: &str) {
@@ -148,6 +152,7 @@ impl Sink {
             max_bytes: max_bytes.max(1),
             max_rotated,
             written: 0,
+            rotations: 0,
             writer: std::io::BufWriter::new(f),
         })))
     }
@@ -191,6 +196,19 @@ pub struct Recorder {
     /// `seq` field, establishing one process-wide total order that
     /// survives interleaving across worker threads and sink rotation.
     seq: AtomicU64,
+    /// Gate for the span-profiling hook. Off by default: span guards
+    /// then pay one relaxed load and nothing else.
+    profiling: AtomicBool,
+    /// Closed-span records captured while profiling is on; drained into
+    /// `.folded` collapsed-stack profiles at shutdown.
+    profile: Mutex<Vec<SpanRec>>,
+    /// Capacity of the live-tail side ring (0 = disabled, the default).
+    /// The watch server switches it on so `/events` can tail runs whose
+    /// primary sink streams to a file.
+    tail_capacity: AtomicUsize,
+    /// The most recent event lines, kept alongside *any* sink while the
+    /// tail is enabled.
+    tail: Mutex<VecDeque<String>>,
 }
 
 impl Default for Recorder {
@@ -209,6 +227,10 @@ impl Recorder {
             sink,
             epoch: Instant::now(),
             seq: AtomicU64::new(0),
+            profiling: AtomicBool::new(false),
+            profile: Mutex::new(Vec::new()),
+            tail_capacity: AtomicUsize::new(0),
+            tail: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -283,6 +305,109 @@ impl Recorder {
         match &self.sink {
             Sink::Ring(ring) => ring.lock().unwrap().dropped,
             _ => 0,
+        }
+    }
+
+    /// Buffered event lines whose logical clock is at least `since`.
+    /// Served from the sink's own buffer for memory and ring sinks;
+    /// file-backed (and null) sinks fall back to the live-tail side
+    /// ring, which is empty unless [`Recorder::set_event_tail`] was
+    /// called. This is the `GET /events?since=<seq>` tail: a poller
+    /// passes one past the highest `seq` it has seen and receives only
+    /// what is new — lines that rotated out of a bounded buffer between
+    /// polls are simply gone, visible as a gap in the `seq`s.
+    pub fn events_since(&self, since: u64) -> Vec<String> {
+        let keep = |line: &&String| line_seq(line).is_some_and(|seq| seq >= since);
+        match &self.sink {
+            Sink::Memory(buf) => buf.lock().unwrap().iter().filter(keep).cloned().collect(),
+            Sink::Ring(ring) => ring
+                .lock()
+                .unwrap()
+                .lines
+                .iter()
+                .filter(keep)
+                .cloned()
+                .collect(),
+            _ => self.tail.lock().unwrap().iter().filter(keep).cloned().collect(),
+        }
+    }
+
+    /// Keeps the most recent `capacity` event lines in an in-memory
+    /// side ring regardless of the primary sink, so [`Recorder::events_since`]
+    /// works even when events stream to a file. The watch server turns
+    /// this on; capacity 0 (the default) disables the tail, and
+    /// emission then pays one relaxed atomic load for it. Shrinking
+    /// discards the oldest lines immediately.
+    pub fn set_event_tail(&self, capacity: usize) {
+        self.tail_capacity.store(capacity, Ordering::Relaxed);
+        let mut tail = self.tail.lock().unwrap();
+        while tail.len() > capacity {
+            tail.pop_front();
+        }
+    }
+
+    /// The next `seq` value the logical clock will hand out (equals the
+    /// number of events emitted so far).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Turns the span-profiling hook on or off. While on, every closed
+    /// trace-context span (see [`crate::context`]) is captured as a
+    /// [`SpanRec`] for collapsed-stack export; while off (the default)
+    /// the hook costs one relaxed atomic load per span close.
+    pub fn set_profiling(&self, on: bool) {
+        self.profiling.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the span-profiling hook is on.
+    pub fn profiling_enabled(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Captures one closed span, if profiling is on.
+    pub fn record_profile(&self, rec: SpanRec) {
+        if self.profiling_enabled() {
+            self.profile.lock().unwrap().push(rec);
+        }
+    }
+
+    /// A copy of every span captured by the profiling hook so far.
+    pub fn profile_records(&self) -> Vec<SpanRec> {
+        self.profile.lock().unwrap().clone()
+    }
+
+    /// Diagnostics of the event sink itself: its kind plus, where the
+    /// sink can lose or rotate data, how much it has (`dropped` for
+    /// bounded rings, `rotations` for size-rotating files). Exposed as
+    /// gauges by [`crate::expo::render`].
+    pub fn sink_stats(&self) -> SinkStats {
+        match &self.sink {
+            Sink::Null => SinkStats {
+                kind: "null",
+                dropped: None,
+                rotations: None,
+            },
+            Sink::Memory(_) => SinkStats {
+                kind: "memory",
+                dropped: None,
+                rotations: None,
+            },
+            Sink::File(_) => SinkStats {
+                kind: "file",
+                dropped: None,
+                rotations: None,
+            },
+            Sink::Ring(ring) => SinkStats {
+                kind: "ring",
+                dropped: Some(ring.lock().unwrap().dropped),
+                rotations: None,
+            },
+            Sink::Rotating(w) => SinkStats {
+                kind: "rotating",
+                dropped: None,
+                rotations: Some(w.lock().unwrap().rotations),
+            },
         }
     }
 
@@ -367,6 +492,31 @@ impl Recorder {
     }
 }
 
+/// Event-sink self-diagnostics; see [`Recorder::sink_stats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Sink variant name (`"null"`, `"memory"`, `"file"`, `"ring"`,
+    /// `"rotating"`).
+    pub kind: &'static str,
+    /// Lines a bounded ring discarded (`None` for other sinks).
+    pub dropped: Option<u64>,
+    /// Rotations a size-rotating file sink performed (`None` for other
+    /// sinks).
+    pub rotations: Option<u64>,
+}
+
+/// Extracts the `seq` field from a stored event line without a full
+/// JSON parse — every line the recorder writes carries
+/// `,"seq":<digits>` exactly once, right after the envelope fields.
+fn line_seq(line: &str) -> Option<u64> {
+    let at = line.find("\"seq\":")? + "\"seq\":".len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn lookup<M: Default>(registry: &RwLock<HashMap<&'static str, Arc<M>>>, name: &'static str) -> Arc<M> {
     if let Some(found) = registry.read().unwrap().get(name) {
         return Arc::clone(found);
@@ -392,10 +542,19 @@ impl EventBuilder<'_> {
         self
     }
 
-    /// Finishes the line and writes it to the sink.
+    /// Finishes the line and writes it to the sink (and, when enabled,
+    /// the recorder's live-tail ring).
     pub fn emit(mut self) {
         self.line.push('}');
         self.recorder.sink.write_line(&self.line);
+        let cap = self.recorder.tail_capacity.load(Ordering::Relaxed);
+        if cap > 0 {
+            let mut tail = self.recorder.tail.lock().unwrap();
+            if tail.len() >= cap {
+                tail.pop_front();
+            }
+            tail.push_back(self.line);
+        }
     }
 }
 
@@ -634,6 +793,91 @@ mod tests {
         // the recorder is process-wide.
         let guard = flush_on_drop();
         drop(guard);
+    }
+
+    #[test]
+    fn events_since_tails_by_logical_clock() {
+        let r = Recorder::new(Sink::memory());
+        for i in 0..5u64 {
+            r.event("tick").kv("i", i).emit();
+        }
+        assert_eq!(r.next_seq(), 5);
+        let tail = r.events_since(3);
+        assert_eq!(tail.len(), 2);
+        assert!(tail[0].contains("\"seq\":3"));
+        assert!(tail[1].contains("\"seq\":4"));
+        assert!(r.events_since(5).is_empty());
+        assert_eq!(r.events_since(0).len(), 5);
+        // Ring sinks tail the surviving window.
+        let ring = Recorder::new(Sink::ring(2));
+        for _ in 0..4 {
+            ring.event("tick").emit();
+        }
+        assert_eq!(ring.events_since(0).len(), 2);
+        assert_eq!(ring.events_since(3).len(), 1);
+    }
+
+    #[test]
+    fn event_tail_serves_file_backed_sinks() {
+        // A null sink buffers nothing, so the tail is the only source.
+        let r = Recorder::new(Sink::Null);
+        r.event("a").emit();
+        assert!(r.events_since(0).is_empty(), "tail is off by default");
+        r.set_event_tail(2);
+        r.event("b").emit();
+        r.event("c").emit();
+        r.event("d").emit();
+        let lines = r.events_since(0);
+        assert_eq!(lines.len(), 2, "tail is bounded");
+        assert!(lines[0].contains("\"target\":\"c\""));
+        assert!(lines[1].contains("\"target\":\"d\""));
+        assert_eq!(r.events_since(3).len(), 1, "since filters by seq");
+        // Shrinking to zero disables and empties the tail.
+        r.set_event_tail(0);
+        r.event("e").emit();
+        assert!(r.events_since(0).is_empty());
+    }
+
+    #[test]
+    fn profiling_is_gated_and_captures_records() {
+        let r = Recorder::new(Sink::memory());
+        let rec = crate::profile::SpanRec {
+            cell: Some(1),
+            span: 7,
+            parent: 0,
+            kind: "k".into(),
+            dur_ns: 9,
+        };
+        r.record_profile(rec.clone());
+        assert!(r.profile_records().is_empty(), "off by default");
+        r.set_profiling(true);
+        assert!(r.profiling_enabled());
+        r.record_profile(rec.clone());
+        assert_eq!(r.profile_records(), vec![rec]);
+    }
+
+    #[test]
+    fn sink_stats_expose_drops_and_rotations() {
+        let ring = Recorder::new(Sink::ring(1));
+        ring.event("a").emit();
+        ring.event("b").emit();
+        let stats = ring.sink_stats();
+        assert_eq!(stats.kind, "ring");
+        assert_eq!(stats.dropped, Some(1));
+        assert_eq!(stats.rotations, None);
+
+        let dir = std::env::temp_dir().join("dynp_obs_sinkstats_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let rot = Recorder::new(Sink::rotating(dir.join("ev.jsonl"), 64, 2).unwrap());
+        for _ in 0..10 {
+            rot.event("tick").kv("pad", "xxxxxxxxxxxxxxxx").emit();
+        }
+        let stats = rot.sink_stats();
+        assert_eq!(stats.kind, "rotating");
+        assert!(stats.rotations.unwrap() > 0);
+        assert_eq!(Recorder::new(Sink::Null).sink_stats().kind, "null");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

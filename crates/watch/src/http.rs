@@ -1,0 +1,169 @@
+//! A deliberately minimal HTTP/1.1 slice: parse one `GET` request line,
+//! write one response, close the connection.
+//!
+//! The watch server is a diagnostics side-channel for `curl` and simple
+//! scrapers, not a web framework: every response carries
+//! `Connection: close`, bodies are always produced whole, and anything
+//! the parser does not understand is answered with a 4xx instead of
+//! guessed at. Keeping the surface this small is what lets the crate
+//! stay std-only.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request head (request line + headers) we are
+/// willing to buffer; enough for any sane `GET`, small enough that a
+/// misdirected upload cannot balloon memory.
+const MAX_HEAD_BYTES: u64 = 16 * 1024;
+
+/// One parsed request: method, decoded path, and the raw query pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method, e.g. `GET`.
+    pub method: String,
+    /// Path without the query string, e.g. `/events`.
+    pub path: String,
+    /// Query pairs in order, e.g. `[("since", "42")]`; no percent
+    /// decoding (the served API never needs it).
+    pub query: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`, if present.
+    pub fn query_value(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of query parameter `key`, parsed as `u64`.
+    pub fn query_u64(&self, key: &str) -> Option<u64> {
+        self.query_value(key)?.parse().ok()
+    }
+}
+
+/// Reads one request head from `stream` and parses the request line;
+/// headers are consumed (up to the blank line) and discarded.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream.take(MAX_HEAD_BYTES));
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("reading request line: {e}"))?;
+    let request = parse_request_line(line.trim_end())?;
+    // Drain headers so the peer sees us consume its full request before
+    // the response lands (some clients treat early close as an error).
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header.trim_end().is_empty() => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    Ok(request)
+}
+
+/// Parses `"GET /path?k=v HTTP/1.1"`.
+pub fn parse_request_line(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("request line without a target")?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/") => {}
+        _ => return Err(format!("not an HTTP request line: {line:?}")),
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+    })
+}
+
+/// Reason phrases for the handful of statuses the server uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete `Connection: close` response.
+pub fn write_response(
+    stream: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        reason(status),
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_query_targets() {
+        let r = parse_request_line("GET /metrics HTTP/1.1").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/metrics");
+        assert!(r.query.is_empty());
+
+        let r = parse_request_line("GET /events?since=42&x HTTP/1.0").unwrap();
+        assert_eq!(r.path, "/events");
+        assert_eq!(r.query_u64("since"), Some(42));
+        assert_eq!(r.query_value("x"), Some(""));
+        assert_eq!(r.query_value("missing"), None);
+        assert_eq!(r.query_u64("x"), None, "empty value is not a number");
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        assert!(parse_request_line("").is_err());
+        assert!(parse_request_line("GET").is_err());
+        assert!(parse_request_line("GET /x").is_err());
+        assert!(parse_request_line("GET /x SMTP/1.0").is_err());
+    }
+
+    #[test]
+    fn read_request_consumes_headers() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n";
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let r = read_request(&mut cursor).unwrap();
+        assert_eq!(r.path, "/healthz");
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "text/plain", "ok\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok\n"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # dynp-watch — live telemetry server for dynp-rs runs
+//!
+//! A std-only (plain [`std::net::TcpListener`] + threads, matching the
+//! workspace's vendored-dependencies policy) in-process HTTP server
+//! that any bench binary or campaign can start to expose what the
+//! process-global [`dynp_obs`] recorder sees *while the run is still
+//! going*, instead of waiting for the end-of-run result files:
+//!
+//! | Endpoint | Serves |
+//! |---|---|
+//! | `GET /metrics` | live OpenMetrics via [`dynp_obs::expo::render`] |
+//! | `GET /healthz` | liveness (`200 ok` while the server runs) |
+//! | `GET /readyz` | readiness (`503` until a recorder is installed) |
+//! | `GET /progress` | campaign cells done/total/in-flight + ETA (JSON) |
+//! | `GET /alerts` | online [`dynp_obs::alert::Rule`] states (JSON) |
+//! | `GET /events?since=<seq>` | long-poll tail of the event sink by logical clock |
+//!
+//! Start one with [`WatchServer::start`] (bind `127.0.0.1:0` for an
+//! ephemeral port), read the bound address from
+//! [`WatchServer::local_addr`], and call [`WatchServer::shutdown`] to
+//! stop it and collect the alert summary. The server is pull-only and
+//! stateless: every request samples the recorder at response time, so
+//! not starting a server adds zero overhead to instrumented code.
+//!
+//! ```no_run
+//! use dynp_watch::{default_rules, WatchServer};
+//!
+//! let server = WatchServer::start("127.0.0.1:0", default_rules())?;
+//! eprintln!("watch: serving on http://{}", server.local_addr());
+//! // ... run the campaign ...
+//! let summary = server.shutdown();
+//! eprintln!("watch: alerts {}", summary.to_json());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+pub mod http;
+pub mod progress;
+pub mod server;
+
+pub use progress::progress_json;
+pub use server::{default_rules, WatchServer};

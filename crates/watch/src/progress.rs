@@ -1,0 +1,126 @@
+//! The `GET /progress` view: campaign completion and an ETA derived
+//! from the per-cell latency histogram.
+//!
+//! `run_campaign` publishes four gauges (`exp.cells_total`,
+//! `exp.cells_done`, `exp.cells_inflight`, `exp.workers`) and records
+//! every finished cell's wall time into the `exp.cell` histogram. This
+//! module only *reads* the snapshots — it never registers metrics, so a
+//! `/progress` poll against a process that is not running a campaign
+//! reports `running: false` instead of materializing empty gauges.
+
+use dynp_obs::{JsonValue, Recorder};
+
+/// Nanoseconds per second, for histogram-derived ETAs.
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// Builds the `/progress` JSON for `recorder`.
+///
+/// ETA model: `remaining × mean(exp.cell) / workers` — the per-cell
+/// latency histogram already aggregates across workers, and cells are
+/// deterministic work items of comparable cost, so the sample mean is
+/// the right predictor. With no finished cell yet (cold start) there is
+/// no sample to extrapolate from and `eta_secs` is `null`.
+pub fn progress_json(recorder: &Recorder) -> JsonValue {
+    let gauges = recorder.gauge_snapshots();
+    let gauge = |name: &str| {
+        gauges
+            .iter()
+            .find(|(n, ..)| *n == name)
+            .map(|(_, last, _)| *last)
+    };
+    let total = gauge("exp.cells_total");
+    let done = gauge("exp.cells_done").unwrap_or(0).max(0);
+    let inflight = gauge("exp.cells_inflight").unwrap_or(0).max(0);
+    let workers = gauge("exp.workers").unwrap_or(1).max(1);
+
+    let mut out = JsonValue::object()
+        .with("running", total.is_some())
+        .with("elapsed_secs", recorder.elapsed_secs());
+    let Some(total) = total else {
+        // No campaign has started in this process.
+        return out
+            .with("cells_total", JsonValue::Null)
+            .with("cells_done", JsonValue::Null)
+            .with("cells_inflight", JsonValue::Null)
+            .with("workers", JsonValue::Null)
+            .with("pct", JsonValue::Null)
+            .with("eta_secs", JsonValue::Null);
+    };
+    let total = total.max(0);
+    let remaining = (total - done).max(0);
+    let pct = if total > 0 {
+        100.0 * done as f64 / total as f64
+    } else {
+        100.0
+    };
+    let mean_cell_secs = recorder
+        .histogram_snapshots()
+        .iter()
+        .find(|(name, _)| *name == "exp.cell")
+        .and_then(|(_, snap)| snap.mean())
+        .map(|ns| ns / NANOS_PER_SEC);
+    let eta_secs = match mean_cell_secs {
+        Some(mean) if remaining > 0 => {
+            JsonValue::from(remaining as f64 * mean / workers as f64)
+        }
+        Some(_) => JsonValue::from(0.0),
+        None if remaining == 0 => JsonValue::from(0.0),
+        None => JsonValue::Null,
+    };
+    out.set("cells_total", total);
+    out.set("cells_done", done);
+    out.set("cells_inflight", inflight);
+    out.set("workers", workers);
+    out.set("pct", pct);
+    out.set("eta_secs", eta_secs);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynp_obs::{Recorder, Sink};
+
+    #[test]
+    fn no_campaign_reports_not_running() {
+        let r = Recorder::new(Sink::memory());
+        let p = progress_json(&r);
+        assert_eq!(p.get("running").and_then(JsonValue::as_bool), Some(false));
+        assert!(matches!(p.get("eta_secs"), Some(JsonValue::Null)));
+        dynp_obs::validate_json(&p.to_json()).unwrap();
+    }
+
+    #[test]
+    fn eta_extrapolates_from_the_cell_histogram() {
+        let r = Recorder::new(Sink::memory());
+        r.gauge("exp.cells_total").set(10);
+        r.gauge("exp.cells_done").set(4);
+        r.gauge("exp.cells_inflight").set(2);
+        r.gauge("exp.workers").set(2);
+        // Two finished cells at 2 s mean.
+        r.histogram("exp.cell").record(1_000_000_000);
+        r.histogram("exp.cell").record(3_000_000_000);
+        let p = progress_json(&r);
+        assert_eq!(p.get("running").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(p.get("cells_done").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(p.get("pct").and_then(JsonValue::as_f64), Some(40.0));
+        // 6 remaining × 2 s mean / 2 workers = 6 s.
+        assert_eq!(p.get("eta_secs").and_then(JsonValue::as_f64), Some(6.0));
+        dynp_obs::validate_json(&p.to_json()).unwrap();
+    }
+
+    #[test]
+    fn cold_start_has_null_eta_and_done_has_zero() {
+        let r = Recorder::new(Sink::memory());
+        r.gauge("exp.cells_total").set(5);
+        r.gauge("exp.cells_done").set(0);
+        let p = progress_json(&r);
+        assert!(matches!(p.get("eta_secs"), Some(JsonValue::Null)));
+
+        r.gauge("exp.cells_done").set(5);
+        r.histogram("exp.cell").record(1_000);
+        let p = progress_json(&r);
+        assert_eq!(p.get("eta_secs").and_then(JsonValue::as_f64), Some(0.0));
+        assert_eq!(p.get("pct").and_then(JsonValue::as_f64), Some(100.0));
+    }
+}

@@ -18,7 +18,9 @@
 //!   JSONL event log, and OpenMetrics exposition,
 //! * [`insight`] — the offline event analyzer: merges rotated/sharded
 //!   logs by logical clock and reports critical paths, span latency
-//!   percentiles, and regression diffs.
+//!   percentiles, and regression diffs,
+//! * [`watch`] — the live telemetry server: `/metrics`, `/progress`,
+//!   `/alerts`, and `/events` over plain std TCP while a run is going.
 //!
 //! # Quickstart
 //!
@@ -56,6 +58,7 @@ pub use dynp_platform as platform;
 pub use dynp_sched as sched;
 pub use dynp_sim as sim;
 pub use dynp_trace as trace;
+pub use dynp_watch as watch;
 
 /// Workspace-wide error umbrella: every typed error a `dynp-rs` entry
 /// point can return, unified so applications can use one `Result` type
