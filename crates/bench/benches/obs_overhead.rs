@@ -17,7 +17,11 @@
 //! Usage: `cargo bench -p dynp-bench --bench obs_overhead`
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use dynp_obs::{enter_cell, install, recorder, span, Recorder, Sink, Span};
+use dynp_obs::{
+    cancelled, enter_cell, install, install_cancel, recorder, span, CancelToken, Recorder, Sink,
+    Span,
+};
+use std::time::Duration;
 
 /// A stand-in for one DES dispatch step: enough arithmetic that the loop
 /// body is not optimised away, cheap enough that instrumentation overhead
@@ -73,6 +77,59 @@ fn bench_disabled(c: &mut Criterion) {
             let mut state = 0u64;
             for _ in 0..1024 {
                 simulated_dispatch(&mut state);
+            }
+            black_box(state)
+        })
+    });
+
+    group.finish();
+}
+
+/// Cost of the cooperative cancellation poll that sits inside the DES
+/// event loop, the B&B node loop, and the simplex iteration loop. The
+/// common case — no token installed — must be one thread-local read;
+/// with a token installed the poll adds an atomic flag load, plus a
+/// monotonic-clock read per poll for deadline tokens until the deadline
+/// latches. This group pins the "within noise on hot paths" acceptance
+/// claim for the per-cell deadline feature.
+///
+/// Runs before `install` so `cancelled()` is measured in the same
+/// recorder-free regime the disabled group establishes (the poll itself
+/// never touches the recorder either way).
+fn bench_cancel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_cancel");
+    group.sample_size(200);
+
+    group.bench_function("cancelled_no_token", |b| {
+        b.iter(|| black_box(cancelled()))
+    });
+
+    group.bench_function("cancelled_flag_token", |b| {
+        let token = CancelToken::new();
+        let _guard = install_cancel(&token);
+        b.iter(|| black_box(cancelled()))
+    });
+
+    group.bench_function("cancelled_deadline_token", |b| {
+        // A one-hour deadline: every poll takes the pre-latch path that
+        // reads the clock, the worst case a live campaign cell pays.
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        let _guard = install_cancel(&token);
+        b.iter(|| black_box(cancelled()))
+    });
+
+    // The DES dispatch loop shape with the cancel poll in place,
+    // comparable against `obs_disabled/dispatch_loop_bare`.
+    group.bench_function("dispatch_loop_with_cancel_poll", |b| {
+        let token = CancelToken::with_deadline(Duration::from_secs(3600));
+        let _guard = install_cancel(&token);
+        b.iter(|| {
+            let mut state = 0u64;
+            for _ in 0..1024 {
+                simulated_dispatch(&mut state);
+                if cancelled() {
+                    break;
+                }
             }
             black_box(state)
         })
@@ -236,8 +293,9 @@ fn bench_sinks(c: &mut Criterion) {
 }
 
 criterion_group!(disabled, bench_disabled);
+criterion_group!(cancel, bench_cancel);
 criterion_group!(null_recorder, bench_null_recorder);
 criterion_group!(context, bench_context);
 criterion_group!(watch_disabled, bench_watch_disabled);
 criterion_group!(sinks, bench_sinks);
-criterion_main!(disabled, null_recorder, context, watch_disabled, sinks);
+criterion_main!(disabled, cancel, null_recorder, context, watch_disabled, sinks);

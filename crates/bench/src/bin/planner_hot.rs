@@ -149,7 +149,9 @@ fn main() {
 
         // Correctness first: the two paths must agree bit-for-bit.
         let (ref_chosen, ref_schedule) = step_reference(&problem, metric);
-        let out = SelfTuning::paper_config(metric).step(&problem);
+        let out = SelfTuning::paper_config(metric)
+            .step(&problem)
+            .expect("busy_snapshot jobs all fit the machine");
         assert_eq!(out.chosen, ref_chosen, "depth {depth}: chosen policy differs");
         assert_eq!(
             out.schedule, ref_schedule,
@@ -160,7 +162,7 @@ fn main() {
             std::hint::black_box(step_reference(&problem, metric));
         });
         let optimized_ms = time_ms(iters, || {
-            std::hint::black_box(SelfTuning::paper_config(metric).step(&problem));
+            let _ = std::hint::black_box(SelfTuning::paper_config(metric).step(&problem));
         });
         let speedup = baseline_ms / optimized_ms;
         if speedup_at_1k.is_none() && depth >= 1000 {

@@ -136,6 +136,13 @@ pub trait Model {
 /// dispatched events (`des.events`) and tracks the pending-queue
 /// high-water mark (`des.queue_depth`); handles are fetched once, so the
 /// per-event cost is at most two atomic updates.
+///
+/// The loop also polls the thread's cooperative [`dynp_obs::cancel`]
+/// token between events and winds down early once it is cancelled (a
+/// campaign cell past its wall-clock deadline). The partial results are
+/// the caller's to discard — an interrupted simulation is not a finished
+/// one — which is exactly what the campaign runner does when it records
+/// the cell as timed out.
 pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>) -> u64 {
     // One traced span per drain: inside a campaign cell this is the
     // "DES epoch" child of the replay span.
@@ -151,6 +158,9 @@ pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Even
         if let Some(m) = &m_depth {
             m.set(queue.len() as i64);
         }
+        if dynp_obs::cancelled() {
+            break;
+        }
     }
     queue.now()
 }
@@ -159,7 +169,8 @@ pub fn run_to_completion<M: Model>(model: &mut M, queue: &mut EventQueue<M::Even
 /// events scheduled after the deadline remain in the queue.
 ///
 /// Instrumented like [`run_to_completion`], against the same
-/// `des.events` / `des.queue_depth` metrics.
+/// `des.events` / `des.queue_depth` metrics, and cancellable through the
+/// same cooperative token.
 pub fn run_until<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, deadline: u64) -> u64 {
     let obs = dynp_obs::recorder();
     let m_events = obs.map(|r| r.counter("des.events"));
@@ -175,6 +186,9 @@ pub fn run_until<M: Model>(model: &mut M, queue: &mut EventQueue<M::Event>, dead
         model.handle(now, event, queue);
         if let Some(m) = &m_depth {
             m.set(queue.len() as i64);
+        }
+        if dynp_obs::cancelled() {
+            break;
         }
     }
     queue.now()
@@ -258,6 +272,27 @@ mod tests {
         assert_eq!(end, 30);
         assert_eq!(model.seen, vec![(0, 3), (10, 2), (20, 1), (30, 0)]);
         assert!(q.is_empty());
+    }
+
+    /// An installed, already-cancelled token stops the drain after one
+    /// event: the wall-clock budget the campaign runner enforces.
+    #[test]
+    fn cancelled_token_stops_the_event_loop() {
+        let token = dynp_obs::CancelToken::new();
+        token.cancel();
+        let _guard = dynp_obs::install_cancel(&token);
+        let mut model = Countdown { seen: vec![] };
+        let mut q = EventQueue::new();
+        q.schedule(0, 100u32);
+        run_to_completion(&mut model, &mut q);
+        assert_eq!(model.seen.len(), 1, "one event dispatched, then cancelled");
+        assert!(!q.is_empty(), "remaining events stay queued");
+
+        let mut q2 = EventQueue::new();
+        q2.schedule(0, 100u32);
+        let mut model2 = Countdown { seen: vec![] };
+        run_until(&mut model2, &mut q2, 1_000_000);
+        assert_eq!(model2.seen.len(), 1);
     }
 
     #[test]

@@ -6,13 +6,18 @@
 //! performs a full self-tuning step.
 
 use crate::tuner::SelfTuning;
-use dynp_sched::{Policy, SchedulingProblem};
+use dynp_sched::{PlanError, Policy, SchedulingProblem};
 
 /// Chooses the scheduling policy for a quasi-off-line snapshot.
 pub trait PolicySelector {
     /// Returns the policy to plan this snapshot with. Implementations may
     /// mutate internal state (e.g. perform a self-tuning step).
-    fn select(&mut self, problem: &SchedulingProblem) -> Policy;
+    ///
+    /// Fails with [`PlanError`] when the snapshot contains a job the
+    /// selector cannot plan (the self-tuning step plans every policy, so
+    /// an unplannable job surfaces here); the RMS declines that job and
+    /// selects again.
+    fn select(&mut self, problem: &SchedulingProblem) -> Result<Policy, PlanError>;
 
     /// Human-readable label for result tables.
     fn label(&self) -> String;
@@ -23,8 +28,8 @@ pub trait PolicySelector {
 pub struct FixedPolicy(pub Policy);
 
 impl PolicySelector for FixedPolicy {
-    fn select(&mut self, _problem: &SchedulingProblem) -> Policy {
-        self.0
+    fn select(&mut self, _problem: &SchedulingProblem) -> Result<Policy, PlanError> {
+        Ok(self.0)
     }
 
     fn label(&self) -> String {
@@ -33,8 +38,8 @@ impl PolicySelector for FixedPolicy {
 }
 
 impl PolicySelector for SelfTuning {
-    fn select(&mut self, problem: &SchedulingProblem) -> Policy {
-        self.step(problem).chosen
+    fn select(&mut self, problem: &SchedulingProblem) -> Result<Policy, PlanError> {
+        Ok(self.step(problem)?.chosen)
     }
 
     fn label(&self) -> String {
@@ -52,8 +57,8 @@ mod tests {
     fn fixed_policy_never_switches() {
         let mut sel = FixedPolicy(Policy::Ljf);
         let p = SchedulingProblem::on_empty_machine(0, 4, vec![Job::exact(0, 0, 1, 10)]);
-        assert_eq!(sel.select(&p), Policy::Ljf);
-        assert_eq!(sel.select(&p), Policy::Ljf);
+        assert_eq!(sel.select(&p), Ok(Policy::Ljf));
+        assert_eq!(sel.select(&p), Ok(Policy::Ljf));
         assert_eq!(sel.label(), "LJF");
     }
 
@@ -69,8 +74,15 @@ mod tests {
                 Job::exact(2, 0, 4, 100),
             ],
         );
-        assert_eq!(sel.select(&p), Policy::Sjf);
+        assert_eq!(sel.select(&p), Ok(Policy::Sjf));
         assert_eq!(sel.active(), Policy::Sjf);
         assert_eq!(sel.label(), "dynP(SLDwA)");
+    }
+
+    #[test]
+    fn self_tuning_selector_surfaces_plan_errors() {
+        let mut sel = SelfTuning::paper_config(Metric::SldwA);
+        let p = SchedulingProblem::on_empty_machine(0, 4, vec![Job::exact(0, 0, 9, 10)]);
+        assert!(sel.select(&p).is_err());
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::decider::Decider;
 use crate::stats::TuningStats;
-use dynp_sched::{plan_with_profile, Metric, Policy, Schedule, SchedulingProblem};
+use dynp_sched::{plan_with_profile, Metric, PlanError, Policy, Schedule, SchedulingProblem};
 use rayon::prelude::*;
 
 /// Static span name for one policy's planning pass, so each policy gets
@@ -101,7 +101,14 @@ impl SelfTuning {
     /// An empty snapshot (no waiting jobs) performs no evaluation and keeps
     /// the active policy, mirroring a real RMS where there is nothing to
     /// re-order.
-    pub fn step(&mut self, problem: &SchedulingProblem) -> TuningOutcome {
+    ///
+    /// An unplannable job in the snapshot (wider than the machine) surfaces
+    /// as `Err(PlanError)` naming the job, with the tuner's state — active
+    /// policy and statistics — untouched, so the caller can decline that
+    /// job and step again. (This mirrors the earlier `admit()` fix: a
+    /// malformed job is the *job's* defect, not grounds to kill the whole
+    /// simulation cell.)
+    pub fn step(&mut self, problem: &SchedulingProblem) -> Result<TuningOutcome, PlanError> {
         // Per-decision latency: the whole plan-evaluate-decide cycle runs
         // on every submission/completion, so this histogram is the
         // scheduler-overhead side of the paper's comparison. Traced: one
@@ -109,13 +116,13 @@ impl SelfTuning {
         let _step_span = dynp_obs::span("dynp.step");
         let previous = self.active;
         if problem.is_empty() {
-            return TuningOutcome {
+            return Ok(TuningOutcome {
                 previous,
                 chosen: previous,
                 switched: false,
                 evaluations: Vec::new(),
                 schedule: Schedule::new(),
-            };
+            });
         }
         // Build the availability profile once; every policy plans against
         // a clone of it. The per-policy passes are independent, so they
@@ -124,24 +131,20 @@ impl SelfTuning {
         // the chosen schedule) bit-identical to the serial planner.
         let profile = problem.availability_profile();
         let metric = self.metric;
-        let planned: Vec<(Policy, f64, Schedule)> = self
+        let planned: Vec<Result<(Policy, f64, Schedule), PlanError>> = self
             .policies
             .par_iter()
             .map(|&policy| {
                 let _plan_span = dynp_obs::Span::enter(plan_span_name(policy));
-                let schedule = plan_with_profile(problem, policy, &profile)
-                    // An unplannable job (wider than the machine) must be
-                    // filtered before submission; inside the tuning loop
-                    // it is a configuration error, as before this was a
-                    // Result.
-                    .unwrap_or_else(|e| panic!("{e}"));
+                let schedule = plan_with_profile(problem, policy, &profile)?;
                 let value = metric.eval(problem, &schedule);
-                (policy, value, schedule)
+                Ok((policy, value, schedule))
             })
             .collect();
         let mut evaluations = Vec::with_capacity(planned.len());
         let mut schedules = Vec::with_capacity(planned.len());
-        for (policy, value, schedule) in planned {
+        for result in planned {
+            let (policy, value, schedule) = result?;
             evaluations.push((policy, value));
             schedules.push(schedule);
         }
@@ -172,13 +175,13 @@ impl SelfTuning {
                 .kv("switched", switched)
                 .emit();
         }
-        TuningOutcome {
+        Ok(TuningOutcome {
             previous,
             chosen,
             switched,
             evaluations,
             schedule,
-        }
+        })
     }
 }
 
@@ -211,7 +214,7 @@ mod tests {
     fn switches_to_sjf_when_it_wins() {
         let mut dynp = SelfTuning::paper_config(Metric::SldwA);
         assert_eq!(dynp.active(), Policy::Fcfs);
-        let out = dynp.step(&sjf_friendly());
+        let out = dynp.step(&sjf_friendly()).unwrap();
         assert_eq!(out.chosen, Policy::Sjf);
         assert!(out.switched);
         assert_eq!(dynp.active(), Policy::Sjf);
@@ -232,10 +235,10 @@ mod tests {
         let mut dynp =
             SelfTuning::new(Policy::PAPER_SET.to_vec(), Metric::SldwA, Decider::Advanced);
         // Move to SJF first.
-        dynp.step(&sjf_friendly());
+        dynp.step(&sjf_friendly()).unwrap();
         assert_eq!(dynp.active(), Policy::Sjf);
         // On a trivial snapshot every policy ties; advanced stays with SJF.
-        let out = dynp.step(&trivial());
+        let out = dynp.step(&trivial()).unwrap();
         assert_eq!(out.chosen, Policy::Sjf);
         assert!(!out.switched);
     }
@@ -243,9 +246,9 @@ mod tests {
     #[test]
     fn simple_decider_flips_back_to_fcfs_on_ties() {
         let mut dynp = SelfTuning::new(Policy::PAPER_SET.to_vec(), Metric::SldwA, Decider::Simple);
-        dynp.step(&sjf_friendly());
+        dynp.step(&sjf_friendly()).unwrap();
         assert_eq!(dynp.active(), Policy::Sjf);
-        let out = dynp.step(&trivial());
+        let out = dynp.step(&trivial()).unwrap();
         // The documented wrong decision: simple favours FCFS.
         assert_eq!(out.chosen, Policy::Fcfs);
         assert!(out.switched);
@@ -255,7 +258,7 @@ mod tests {
     fn returned_schedule_is_the_chosen_policys_plan() {
         let mut dynp = SelfTuning::paper_config(Metric::SldwA);
         let problem = sjf_friendly();
-        let out = dynp.step(&problem);
+        let out = dynp.step(&problem).unwrap();
         let expected = dynp_sched::plan(&problem, out.chosen).unwrap();
         assert_eq!(out.schedule, expected);
         out.schedule.validate(&problem).unwrap();
@@ -264,7 +267,9 @@ mod tests {
     #[test]
     fn empty_snapshot_keeps_policy_and_plans_nothing() {
         let mut dynp = SelfTuning::paper_config(Metric::SldwA);
-        let out = dynp.step(&SchedulingProblem::on_empty_machine(0, 4, vec![]));
+        let out = dynp
+            .step(&SchedulingProblem::on_empty_machine(0, 4, vec![]))
+            .unwrap();
         assert!(!out.switched);
         assert!(out.schedule.is_empty());
         assert!(out.evaluations.is_empty());
@@ -273,8 +278,8 @@ mod tests {
     #[test]
     fn stats_count_steps_and_switches() {
         let mut dynp = SelfTuning::paper_config(Metric::SldwA);
-        dynp.step(&sjf_friendly()); // FCFS -> SJF
-        dynp.step(&trivial()); // stays (advanced)
+        dynp.step(&sjf_friendly()).unwrap(); // FCFS -> SJF
+        dynp.step(&trivial()).unwrap(); // stays (advanced)
         let s = dynp.stats();
         assert_eq!(s.steps(), 2);
         assert_eq!(s.switches(), 1);
@@ -286,6 +291,36 @@ mod tests {
         SelfTuning::new(vec![], Metric::SldwA, Decider::Simple);
     }
 
+    /// A job wider than the machine inside the snapshot must surface as
+    /// a typed error naming the job — not a panic — and leave the tuner
+    /// exactly where it was, so the caller can decline the job and step
+    /// again.
+    #[test]
+    fn unplannable_job_declines_without_mutating_state() {
+        let mut dynp = SelfTuning::paper_config(Metric::SldwA);
+        dynp.step(&sjf_friendly()).unwrap(); // FCFS -> SJF
+        let steps_before = dynp.stats().steps();
+        let bad = SchedulingProblem::on_empty_machine(
+            100,
+            4,
+            vec![Job::exact(10, 100, 2, 50), Job::exact(11, 100, 9, 50)],
+        );
+        let err = dynp.step(&bad).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::JobTooWide {
+                id: dynp_trace::JobId(11),
+                width: 9,
+                capacity: 4
+            }
+        );
+        assert_eq!(dynp.active(), Policy::Sjf, "active policy untouched");
+        assert_eq!(dynp.stats().steps(), steps_before, "stats untouched");
+        // After declining the offending job the tuner works again.
+        let ok = SchedulingProblem::on_empty_machine(100, 4, vec![Job::exact(10, 100, 2, 50)]);
+        dynp.step(&ok).unwrap();
+    }
+
     #[test]
     fn extension_policies_participate_when_configured() {
         let mut dynp = SelfTuning::new(
@@ -293,7 +328,7 @@ mod tests {
             Metric::ArtwW,
             Decider::Advanced,
         );
-        let out = dynp.step(&sjf_friendly());
+        let out = dynp.step(&sjf_friendly()).unwrap();
         assert_eq!(out.evaluations.len(), 3);
     }
 }

@@ -105,6 +105,151 @@ impl SelectorSpec {
     }
 }
 
+/// How a deterministic fault injection manifests inside a cell.
+///
+/// Faults exist so the failure machinery is *testable*: a campaign can
+/// be told to crash, stall, or lose checkpoint writes at chosen cells,
+/// and the resulting degraded records, retries, events, and resume
+/// behavior are exactly what a real fault would produce — minus the
+/// nondeterminism of real faults.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Panic inside the cell body. It is caught at the cell boundary and
+    /// never unwinds past it; with retries exhausted the cell records
+    /// `crashed` with the panic payload and source location.
+    Panic,
+    /// Sleep before the replay starts. Combined with
+    /// [`CampaignConfig::cell_deadline`] this forces a timeout; the
+    /// sleep polls the cell's cancel token, so it never outlives the
+    /// deadline by more than a few milliseconds.
+    Delay(Duration),
+    /// Suppress the cell's checkpoint append through the same code path
+    /// a real write error takes (`exp.checkpoint_write_failed` is
+    /// emitted, the campaign continues): the cell is recomputed on
+    /// every resume.
+    CheckpointIo,
+}
+
+impl FaultKind {
+    fn canonical(&self) -> JsonValue {
+        match self {
+            FaultKind::Panic => JsonValue::object().with("kind", "panic"),
+            FaultKind::Delay(d) => JsonValue::object()
+                .with("kind", "delay")
+                .with("delay_ms", d.as_millis() as u64),
+            FaultKind::CheckpointIo => JsonValue::object().with("kind", "checkpoint_io"),
+        }
+    }
+}
+
+/// One injection: `kind` applies to the first `attempts` attempts of
+/// `cell`. `attempts: 1` with retries enabled models a transient fault
+/// that a retry clears; `u32::MAX` a persistent one.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultInjection {
+    /// Index in the campaign's deterministic cell enumeration.
+    pub cell: usize,
+    /// What happens there.
+    pub kind: FaultKind,
+    /// How many leading attempts the fault applies to.
+    pub attempts: u32,
+}
+
+/// A deterministic fault schedule for a campaign.
+///
+/// Part of the campaign fingerprint, so runs with different fault plans
+/// never share checkpoints. An empty plan (the default) injects
+/// nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The injections; the first one matching `(cell, attempt)` wins.
+    pub injections: Vec<FaultInjection>,
+}
+
+impl FaultPlan {
+    /// The empty plan (what [`CampaignConfig::new`] starts with).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// Adds an injection (builder style).
+    pub fn inject(mut self, cell: usize, kind: FaultKind, attempts: u32) -> FaultPlan {
+        self.injections.push(FaultInjection {
+            cell,
+            kind,
+            attempts,
+        });
+        self
+    }
+
+    /// The fault active at `(cell, attempt)`, if any.
+    fn at(&self, cell: usize, attempt: u32) -> Option<&FaultKind> {
+        self.injections
+            .iter()
+            .find(|inj| inj.cell == cell && attempt <= inj.attempts)
+            .map(|inj| &inj.kind)
+    }
+
+    fn canonical(&self) -> JsonValue {
+        JsonValue::Array(
+            self.injections
+                .iter()
+                .map(|inj| {
+                    inj.kind
+                        .canonical()
+                        .with("cell", inj.cell)
+                        .with("attempts", inj.attempts)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// How a cell ended, as recorded in its checkpoint line and report row.
+///
+/// A degraded cell (anything but `Ok`) contributes no metrics to the
+/// report aggregates; it appears in the failure census instead.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CellStatus {
+    /// The cell replayed (and solved) to completion.
+    Ok,
+    /// Every attempt panicked; the last payload and panic site are kept.
+    Crashed {
+        /// Rendered panic payload of the final attempt.
+        payload: String,
+        /// `file:line` of the panic site (the deterministic stand-in
+        /// for a backtrace).
+        location: String,
+    },
+    /// Every attempt overran [`CampaignConfig::cell_deadline`]; partial
+    /// results were discarded.
+    TimedOut,
+}
+
+impl CellStatus {
+    /// The status string stored in checkpoint records and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Crashed { .. } => "crashed",
+            CellStatus::TimedOut => "timed_out",
+        }
+    }
+}
+
+/// Status string of a cell record; records written before the failure
+/// model existed carry no `status` key and count as ok.
+pub(crate) fn record_status(data: &JsonValue) -> &str {
+    data.get("status")
+        .and_then(JsonValue::as_str)
+        .unwrap_or("ok")
+}
+
 /// Exact-comparison side of a campaign: which snapshots to solve and
 /// under what budget.
 ///
@@ -266,6 +411,22 @@ pub struct CampaignConfig {
     pub workers: usize,
     /// Exact ILP comparison; `None` replays only.
     pub exact: Option<ExactConfig>,
+    /// Wall-clock budget per cell attempt. Past it the cell's
+    /// cooperative cancel token fires, the DES / branch & bound /
+    /// simplex loops wind down, the attempt's partial results are
+    /// discarded, and the cell records `timed_out` (after retries).
+    /// `None` disables the deadline. Whether a deadline is *hit* is a
+    /// wall-clock fact — a fresh rerun on a slower machine may time out
+    /// differently — but resume stays byte-identical because degraded
+    /// records are checkpointed and trusted like any other.
+    pub cell_deadline: Option<Duration>,
+    /// Extra attempts after a crashed or timed-out one (0 = fail fast).
+    /// The retry decision depends only on the attempt counter and the
+    /// fault plan, never on the clock, so recorded attempt counts are
+    /// deterministic.
+    pub retries: u32,
+    /// Deterministic fault injections (tests, failure drills, CI smoke).
+    pub faults: FaultPlan,
     /// Where the checkpoint and reports live.
     pub output_dir: PathBuf,
 }
@@ -282,6 +443,9 @@ impl CampaignConfig {
             factors: vec![1.0],
             workers: 1,
             exact: Some(ExactConfig::new()),
+            cell_deadline: None,
+            retries: 0,
+            faults: FaultPlan::none(),
             output_dir: PathBuf::from("results"),
         }
     }
@@ -313,6 +477,24 @@ impl CampaignConfig {
     /// Sets (or, with `None`, disables) the exact comparison.
     pub fn with_exact(mut self, exact: Option<ExactConfig>) -> CampaignConfig {
         self.exact = exact;
+        self
+    }
+
+    /// Wall-clock deadline per cell attempt.
+    pub fn with_cell_deadline(mut self, deadline: Duration) -> CampaignConfig {
+        self.cell_deadline = Some(deadline);
+        self
+    }
+
+    /// Extra attempts after a crashed or timed-out one.
+    pub fn with_retries(mut self, retries: u32) -> CampaignConfig {
+        self.retries = retries;
+        self
+    }
+
+    /// Replaces the fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> CampaignConfig {
+        self.faults = faults;
         self
     }
 
@@ -393,6 +575,15 @@ impl CampaignConfig {
                 },
             )
             .with(
+                "cell_deadline_ms",
+                match self.cell_deadline {
+                    Some(d) => JsonValue::from(d.as_millis() as u64),
+                    None => JsonValue::Null,
+                },
+            )
+            .with("retries", self.retries)
+            .with("faults", self.faults.canonical())
+            .with(
                 "trace",
                 checkpoint::fingerprint(&trace),
             )
@@ -450,6 +641,12 @@ pub struct CampaignOutcome {
     pub cells_resumed: usize,
     /// Cells computed (and appended to the checkpoint) in this run.
     pub cells_computed: usize,
+    /// Cells whose final record (computed or resumed) is `crashed`:
+    /// every attempt panicked.
+    pub cells_crashed: usize,
+    /// Cells whose final record is `timed_out`: every attempt overran
+    /// the deadline.
+    pub cells_timed_out: usize,
     /// Checkpoint lines that were truncated, corrupt, or foreign.
     pub checkpoint_rejected: usize,
     /// The aggregated report (same value serialized to the JSON file).
@@ -482,6 +679,15 @@ struct Cell<'a> {
 /// up. Valid records already present in the checkpoint are trusted and
 /// skipped, which makes a re-launch after a crash continue where it died
 /// and produce a byte-identical report.
+///
+/// Cells are fault-isolated: a panicking cell records `crashed`, a cell
+/// past [`CampaignConfig::cell_deadline`] records `timed_out` (both
+/// after [`CampaignConfig::retries`] extra attempts), and in either
+/// case the sweep continues and `run_campaign` returns `Ok` — degraded
+/// cells surface in [`CampaignOutcome::cells_crashed`] /
+/// [`CampaignOutcome::cells_timed_out`], the report's failure census,
+/// the `exp.cells_degraded` gauge, and the
+/// `exp.cell_crashed`/`exp.cell_timeout`/`exp.cell_retry` events.
 pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOutcome, CampaignError> {
     let span = dynp_obs::Span::enter("exp.campaign");
     // Panic-safe: even a campaign that dies mid-cell leaves a flushed
@@ -535,22 +741,30 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         r.gauge("exp.workers").set(config.workers.max(1) as i64);
         r.gauge("exp.cells_done").set(0);
         r.gauge("exp.cells_inflight").set(0);
-        (r.gauge("exp.cells_done"), r.gauge("exp.cells_inflight"))
+        r.gauge("exp.cells_degraded").set(0);
+        (
+            r.gauge("exp.cells_done"),
+            r.gauge("exp.cells_inflight"),
+            r.gauge("exp.cells_degraded"),
+        )
     });
     let campaign_started = std::time::Instant::now();
     let campaign_id = dynp_obs::campaign_hash(&fingerprint);
     let computed = AtomicUsize::new(0);
     let resumed = AtomicUsize::new(0);
     let cells_total = cells.len();
-    let cell_results: Vec<JsonValue> = pool::run_indexed(config.workers, &cells, |i, cell| {
+    let slot_results = pool::run_indexed(config.workers, &cells, |i, cell| {
         if let Some(cached) = loaded.cells.get(&i) {
             resumed.fetch_add(1, Ordering::Relaxed);
-            if let Some((done, _)) = &progress {
+            if let Some((done, _, degraded)) = &progress {
+                if record_status(cached) != "ok" {
+                    degraded.add(1);
+                }
                 done.add(1);
             }
             return cached.clone();
         }
-        if let Some((_, inflight)) = &progress {
+        if let Some((_, inflight, _)) = &progress {
             inflight.add(1);
         }
         // Everything a cell does — replay, exact solves, the checkpoint
@@ -559,20 +773,28 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         // one worker thread, which is what keeps its span ids
         // deterministic regardless of the worker count.
         let cell_ctx = dynp_obs::enter_cell(campaign_id, i as u64);
-        let data = run_cell(cell, config);
-        log.append(&fingerprint, i, &data);
+        let data = run_cell_guarded(cell, i, config);
+        if matches!(config.faults.at(i, 1), Some(FaultKind::CheckpointIo)) {
+            log.append_injected_failure(&fingerprint, i, &data);
+        } else {
+            log.append(&fingerprint, i, &data);
+        }
         let computed_now = computed.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(r) = dynp_obs::recorder() {
             r.event("exp.cell_done")
                 .kv("shard", cell.shard.index)
                 .kv("selector", cell.spec.label().as_str())
                 .kv("factor", cell.factor)
+                .kv("status", record_status(&data))
                 .emit();
         }
         drop(cell_ctx);
         let done_now = match &progress {
-            Some((done, inflight)) => {
+            Some((done, inflight, degraded)) => {
                 inflight.add(-1);
+                if record_status(&data) != "ok" {
+                    degraded.add(1);
+                }
                 done.add(1) as usize
             }
             None => computed_now + resumed.load(Ordering::Relaxed),
@@ -595,6 +817,37 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         }
         data
     });
+    // Every panic inside a cell is already caught (and retried) by
+    // `run_cell_guarded`, so a `Panicked` slot means the worker died
+    // outside the guarded region — synthesize a crashed record rather
+    // than losing the whole sweep to one slot.
+    let cell_results: Vec<JsonValue> = slot_results
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| match slot {
+            pool::SlotOutcome::Done(data) => data,
+            pool::SlotOutcome::Panicked(p) => {
+                let status = CellStatus::Crashed {
+                    payload: p.payload,
+                    location: p.location,
+                };
+                degraded_record(&cells[i], &status, 1)
+            }
+        })
+        .collect();
+    let cells_crashed = cell_results
+        .iter()
+        .filter(|c| record_status(c) == "crashed")
+        .count();
+    let cells_timed_out = cell_results
+        .iter()
+        .filter(|c| record_status(c) == "timed_out")
+        .count();
+    // Authoritative final value (the incremental adds above miss only
+    // the defensive pool-level synthesis).
+    if let Some((_, _, degraded)) = &progress {
+        degraded.set((cells_crashed + cells_timed_out) as i64);
+    }
 
     let report = report::build(config, shard_list.len(), &cell_results);
     let report_json_path = config.output_dir.join(format!("{}.report.json", config.name));
@@ -634,6 +887,8 @@ pub fn run_campaign(jobs: &[Job], config: &CampaignConfig) -> Result<CampaignOut
         cells_total: cells.len(),
         cells_resumed: resumed.into_inner(),
         cells_computed: computed.into_inner(),
+        cells_crashed,
+        cells_timed_out,
         checkpoint_rejected: loaded.rejected,
         report: report.json,
         checkpoint_path,
@@ -660,6 +915,128 @@ fn spread_sample(snapshots: &[TunedSnapshot], count: usize) -> Vec<TunedSnapshot
     (0..count)
         .map(|i| snapshots[i * (snapshots.len() - 1) / (count - 1)].clone())
         .collect()
+}
+
+/// The checkpoint record of a cell whose every attempt failed: only
+/// identity fields plus the failure itself, so its bytes depend on
+/// nothing wall-clock (a crashed record carries the deterministic panic
+/// payload and site; a timed-out record carries no partial data at
+/// all).
+fn degraded_record(cell: &Cell<'_>, status: &CellStatus, attempts: u32) -> JsonValue {
+    let mut v = JsonValue::object()
+        .with("shard", cell.shard.index)
+        .with("from", cell.shard.from)
+        .with("to", cell.shard.to)
+        .with("selector", cell.spec.label())
+        .with("factor", cell.factor)
+        .with("status", status.name())
+        .with("attempts", attempts);
+    if let CellStatus::Crashed { payload, location } = status {
+        v = v
+            .with("panic", payload.as_str())
+            .with("panic_at", location.as_str());
+    }
+    v
+}
+
+/// Sleeps `total` in small slices, returning early once the cell's
+/// cancel token fires (a [`FaultKind::Delay`] must not outlive the
+/// deadline it exists to trip).
+fn sleep_unless_cancelled(total: Duration) {
+    const SLICE: Duration = Duration::from_millis(5);
+    let mut remaining = total;
+    while !remaining.is_zero() {
+        if dynp_obs::cancelled() {
+            return;
+        }
+        let step = remaining.min(SLICE);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+/// Runs one cell with panic isolation, the per-attempt deadline token,
+/// and the bounded retry loop; returns the final checkpoint record.
+///
+/// The failure handling is layered:
+///
+/// * a panic anywhere in the replay or the exact solves is caught by
+///   [`pool::call_caught`] at the cell boundary — the worker thread and
+///   its sibling cells keep running,
+/// * the deadline is enforced cooperatively: a fresh [`CancelToken`]
+///   with the configured budget is installed per attempt, and the DES
+///   event loop, the branch & bound loop, and the simplex iteration
+///   loop poll it. A cancelled attempt *returns normally* with partial
+///   data, which is discarded here — an interrupted replay is not a
+///   finished one,
+/// * retry decisions depend only on the attempt counter and the fault
+///   plan, never on the clock, so the `attempts` count in the record is
+///   deterministic. The backoff sleep between attempts uses the clock
+///   for waiting, not for deciding.
+///
+/// [`CancelToken`]: dynp_obs::CancelToken
+fn run_cell_guarded(cell: &Cell<'_>, index: usize, config: &CampaignConfig) -> JsonValue {
+    let max_attempts = config.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let fault = config.faults.at(index, attempt).cloned();
+        let token = match config.cell_deadline {
+            Some(budget) => dynp_obs::CancelToken::with_deadline(budget),
+            None => dynp_obs::CancelToken::new(),
+        };
+        let guard = dynp_obs::install_cancel(&token);
+        let result = pool::call_caught(|| {
+            match &fault {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: panic in cell {index} (attempt {attempt})")
+                }
+                Some(FaultKind::Delay(d)) => sleep_unless_cancelled(*d),
+                _ => {}
+            }
+            run_cell(cell, config)
+        });
+        drop(guard);
+        let failure = match result {
+            Ok(data) if !token.is_cancelled() => {
+                return data.with("status", "ok").with("attempts", attempt);
+            }
+            Ok(_) => {
+                if let Some(r) = dynp_obs::recorder() {
+                    r.counter("exp.cell_timeout").inc();
+                    // The cell index rides in the trace-context envelope
+                    // (the caller holds the cell guard), not in a kv.
+                    r.event("exp.cell_timeout").kv("attempt", attempt).emit();
+                }
+                CellStatus::TimedOut
+            }
+            Err(caught) => {
+                if let Some(r) = dynp_obs::recorder() {
+                    r.counter("exp.cell_crashed").inc();
+                    r.event("exp.cell_crashed")
+                        .kv("attempt", attempt)
+                        .kv("panic", caught.payload.as_str())
+                        .kv("at", caught.location.as_str())
+                        .emit();
+                }
+                CellStatus::Crashed {
+                    payload: caught.payload,
+                    location: caught.location,
+                }
+            }
+        };
+        if attempt >= max_attempts {
+            return degraded_record(cell, &failure, attempt);
+        }
+        if let Some(r) = dynp_obs::recorder() {
+            r.counter("exp.cell_retry").inc();
+            r.event("exp.cell_retry")
+                .kv("attempt", attempt)
+                .kv("max_attempts", max_attempts)
+                .emit();
+        }
+        std::thread::sleep(Duration::from_millis(25).saturating_mul(attempt.min(40)));
+    }
 }
 
 /// Replays one cell and packs its deterministic results.
@@ -936,6 +1313,165 @@ mod tests {
         );
         std::fs::remove_dir_all(&dir1).unwrap();
         std::fs::remove_dir_all(&dir4).unwrap();
+    }
+
+    #[test]
+    fn injected_panic_records_a_crashed_cell_and_the_sweep_survives() {
+        let dir = unique_dir("crash");
+        let config = tiny_config("crash", &dir)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::Panic, u32::MAX));
+        let outcome = run_campaign(&tiny_trace(60), &config).unwrap();
+        assert_eq!(outcome.cells_crashed, 1);
+        assert_eq!(outcome.cells_timed_out, 0);
+        assert_eq!(outcome.cells_computed, outcome.cells_total);
+
+        // The crashed record is in the checkpoint with payload + site.
+        let loaded = checkpoint::load(&outcome.checkpoint_path, &outcome.fingerprint).unwrap();
+        let crashed = &loaded.cells[&0];
+        assert_eq!(record_status(crashed), "crashed");
+        assert_eq!(crashed.get("attempts").and_then(JsonValue::as_u64), Some(1));
+        let payload = crashed.get("panic").and_then(JsonValue::as_str).unwrap();
+        assert!(payload.contains("injected fault: panic in cell 0"));
+        assert!(crashed
+            .get("panic_at")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("campaign.rs"));
+
+        // The report carries the census and excludes the cell from the
+        // aggregates (its group has one shard fewer than its sibling).
+        let failures = outcome.report.get("failures").unwrap();
+        assert_eq!(failures.get("crashed").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(failures.get("timed_out").and_then(JsonValue::as_u64), Some(0));
+        let listed = failures.get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("cell").and_then(JsonValue::as_u64), Some(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delayed_cell_past_the_deadline_times_out() {
+        let dir = unique_dir("deadline");
+        // No exact solves: clean cells finish in microseconds, far under
+        // the 400 ms deadline even in debug mode, so only the injected
+        // 10-minute delay can trip it.
+        let config = tiny_config("deadline", &dir)
+            .with_exact(None)
+            .with_cell_deadline(Duration::from_millis(400))
+            .with_faults(FaultPlan::none().inject(
+                1,
+                FaultKind::Delay(Duration::from_secs(600)),
+                u32::MAX,
+            ));
+        let outcome = run_campaign(&tiny_trace(60), &config).unwrap();
+        assert_eq!(outcome.cells_timed_out, 1);
+        assert_eq!(outcome.cells_crashed, 0);
+        // The timed-out record carries no partial metrics.
+        let loaded = checkpoint::load(&outcome.checkpoint_path, &outcome.fingerprint).unwrap();
+        let timed = &loaded.cells[&1];
+        assert_eq!(record_status(timed), "timed_out");
+        assert!(timed.get("sldwa").is_none(), "partial data must be discarded");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_retry_clears_a_transient_fault() {
+        let dir = unique_dir("retry");
+        let config = tiny_config("retry", &dir)
+            .with_retries(2)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::Panic, 1));
+        let outcome = run_campaign(&tiny_trace(60), &config).unwrap();
+        assert_eq!(outcome.cells_crashed, 0);
+        assert_eq!(outcome.cells_timed_out, 0);
+        let loaded = checkpoint::load(&outcome.checkpoint_path, &outcome.fingerprint).unwrap();
+        let healed = &loaded.cells[&0];
+        assert_eq!(record_status(healed), "ok");
+        assert_eq!(healed.get("attempts").and_then(JsonValue::as_u64), Some(2));
+        // Untouched cells succeeded first try.
+        assert_eq!(
+            loaded.cells[&1].get("attempts").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_io_fault_recomputes_the_cell_on_resume() {
+        let dir = unique_dir("ckptio");
+        let config = tiny_config("ckptio", &dir)
+            .with_faults(FaultPlan::none().inject(0, FaultKind::CheckpointIo, u32::MAX));
+        let jobs = tiny_trace(40);
+        let first = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(first.cells_computed, first.cells_total);
+        let report_a = std::fs::read(&first.report_json_path).unwrap();
+        // Cell 0's append was suppressed through the io-error path, so a
+        // relaunch recomputes exactly that cell — and nothing else.
+        let second = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(second.cells_resumed, second.cells_total - 1);
+        assert_eq!(second.cells_computed, 1);
+        assert_eq!(
+            std::fs::read(&second.report_json_path).unwrap(),
+            report_a,
+            "recomputing the unpersisted cell must not change the report"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_cells_resume_byte_identically() {
+        let dir = unique_dir("degraded_resume");
+        let config = tiny_config("degr", &dir)
+            .with_retries(1)
+            .with_faults(
+                FaultPlan::none()
+                    .inject(0, FaultKind::Panic, u32::MAX)
+                    .inject(2, FaultKind::Panic, 1),
+            );
+        let jobs = tiny_trace(40);
+        let first = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(first.cells_crashed, 1);
+        let report_a = std::fs::read(&first.report_json_path).unwrap();
+        let second = run_campaign(&jobs, &config).unwrap();
+        assert_eq!(second.cells_resumed, second.cells_total, "crashed records are trusted");
+        assert_eq!(second.cells_crashed, 1, "resumed census still counts the crash");
+        assert_eq!(std::fs::read(&second.report_json_path).unwrap(), report_a);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fault_knobs_enter_the_fingerprint() {
+        let jobs = tiny_trace(20);
+        let base = tiny_config("fp", Path::new("x"));
+        let with_deadline = base.clone().with_cell_deadline(Duration::from_secs(30));
+        let with_retries = base.clone().with_retries(1);
+        let with_fault = base
+            .clone()
+            .with_faults(FaultPlan::none().inject(0, FaultKind::Panic, 1));
+        let prints = [
+            base.fingerprint(&jobs),
+            with_deadline.fingerprint(&jobs),
+            with_retries.fingerprint(&jobs),
+            with_fault.fingerprint(&jobs),
+        ];
+        for (i, a) in prints.iter().enumerate() {
+            for b in prints.iter().skip(i + 1) {
+                assert_ne!(a, b, "fault knobs must invalidate the checkpoint");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_lookup_respects_cell_and_attempt() {
+        let plan = FaultPlan::none()
+            .inject(3, FaultKind::Panic, 2)
+            .inject(5, FaultKind::CheckpointIo, u32::MAX);
+        assert_eq!(plan.at(3, 1), Some(&FaultKind::Panic));
+        assert_eq!(plan.at(3, 2), Some(&FaultKind::Panic));
+        assert_eq!(plan.at(3, 3), None, "transient fault clears after 2 attempts");
+        assert_eq!(plan.at(4, 1), None);
+        assert_eq!(plan.at(5, 99), Some(&FaultKind::CheckpointIo));
+        assert!(FaultPlan::none().is_empty());
+        assert!(!plan.is_empty());
     }
 
     #[test]

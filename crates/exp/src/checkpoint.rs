@@ -187,15 +187,43 @@ impl CheckpointLog {
     /// disk degrades crash-safety, it must not kill a multi-hour sweep.
     pub fn append(&self, campaign: &str, cell: usize, data: &JsonValue) {
         let line = record_line(campaign, cell, data);
-        let mut file = self.file.lock().unwrap();
+        // A worker that panicked while holding the lock poisons it, but
+        // an append-only file handle has no invariant a half-finished
+        // writer could break: the torn tail is dropped on load and the
+        // cell recomputed. Recover the guard instead of propagating the
+        // panic into every surviving worker.
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         if let Err(e) = writeln!(file, "{line}").and_then(|_| file.flush()) {
-            if let Some(r) = dynp_obs::recorder() {
-                r.event("exp.checkpoint_write_failed")
-                    .kv("cell", cell)
-                    .kv("error", e.to_string().as_str())
-                    .emit();
-            }
+            report_write_failure(cell, &e.to_string());
         }
+    }
+
+    /// The deterministic-fault-injection variant of [`append`]: the
+    /// record is serialized exactly as a real append would, then dropped
+    /// on the floor through the same degraded I/O reporting path instead
+    /// of being written. A cell routed here is recomputed on every
+    /// resume — which is precisely the behaviour a full disk produces,
+    /// now reachable from a test.
+    ///
+    /// [`append`]: CheckpointLog::append
+    pub fn append_injected_failure(&self, campaign: &str, cell: usize, data: &JsonValue) {
+        // Serialize (and checksum) so an injected run pays the same
+        // encoding cost and validates the record path, then report the
+        // synthetic failure.
+        let _line = record_line(campaign, cell, data);
+        report_write_failure(cell, "injected checkpoint i/o fault");
+    }
+}
+
+/// Emits the `exp.checkpoint_write_failed` event shared by real append
+/// errors and injected I/O faults.
+fn report_write_failure(cell: usize, error: &str) {
+    if let Some(r) = dynp_obs::recorder() {
+        r.counter("exp.checkpoint_write_failed").inc();
+        r.event("exp.checkpoint_write_failed")
+            .kv("cell", cell)
+            .kv("error", error)
+            .emit();
     }
 }
 
@@ -253,6 +281,43 @@ mod tests {
         assert_eq!(loaded.cells[&2], data(2));
         assert_eq!(loaded.lines, 4);
         assert_eq!(loaded.rejected, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn poisoned_lock_still_appends() {
+        let dir = std::env::temp_dir().join(format!("dynp_ckpt_poison_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("poisoned.checkpoint.jsonl");
+        let log = CheckpointLog::append_to(&path).unwrap();
+        // Poison the mutex: panic while holding the file guard, the way a
+        // crashing campaign worker would mid-append.
+        let poisoned = crate::pool::call_caught(|| {
+            let _guard = log.file.lock().unwrap();
+            panic!("worker died holding the checkpoint lock");
+        });
+        assert!(poisoned.is_err());
+        assert!(log.file.is_poisoned());
+        // Surviving workers keep checkpointing.
+        log.append("cafe", 1, &data(1));
+        let loaded = load(&path, "cafe").unwrap();
+        assert_eq!(loaded.cells.len(), 1);
+        assert_eq!(loaded.cells[&1], data(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_failure_writes_nothing() {
+        let dir = std::env::temp_dir().join(format!("dynp_ckpt_inject_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("injected.checkpoint.jsonl");
+        let log = CheckpointLog::append_to(&path).unwrap();
+        log.append_injected_failure("cafe", 0, &data(1));
+        log.append("cafe", 1, &data(2));
+        let loaded = load(&path, "cafe").unwrap();
+        assert_eq!(loaded.lines, 1, "the injected record must not reach the file");
+        assert_eq!(loaded.cells.len(), 1);
+        assert_eq!(loaded.cells[&1], data(2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -32,7 +32,8 @@ pub mod pool;
 pub mod report;
 
 pub use campaign::{
-    run_campaign, CampaignConfig, CampaignError, CampaignOutcome, ExactConfig, SelectorSpec,
+    run_campaign, CampaignConfig, CampaignError, CampaignOutcome, CellStatus, ExactConfig,
+    FaultInjection, FaultKind, FaultPlan, SelectorSpec,
 };
 pub use checkpoint::{CheckpointLog, LoadedCheckpoint};
 pub use report::BuiltReport;

@@ -8,7 +8,7 @@
 //! worker count, or resume bookkeeping — so a resumed campaign reproduces
 //! both files byte for byte.
 
-use crate::campaign::CampaignConfig;
+use crate::campaign::{record_status, CampaignConfig};
 use dynp_obs::JsonValue;
 use std::fmt::Write as _;
 
@@ -39,6 +39,11 @@ struct GroupAggregate {
     sldwa_sum: f64,
     switches: u64,
     steps: u64,
+    /// Cells of this group that panicked / hit their deadline. Degraded
+    /// cells are counted here and *excluded* from every metric column —
+    /// a crashed shard must not drag a selector's SLDwA mean toward 0.
+    crashed: usize,
+    timed_out: usize,
     exact: Option<ExactAggregate>,
 }
 
@@ -74,7 +79,9 @@ impl GroupAggregate {
             .with("skipped", self.skipped)
             .with("sldwa_mean", self.sldwa_mean())
             .with("switches", self.switches)
-            .with("steps", self.steps);
+            .with("steps", self.steps)
+            .with("crashed", self.crashed)
+            .with("timed_out", self.timed_out);
         v = match &self.exact {
             Some(e) => v.with("exact", e.to_json()),
             None => v.with("exact", JsonValue::Null),
@@ -134,12 +141,42 @@ pub fn build(config: &CampaignConfig, n_shards: usize, cells: &[JsonValue]) -> B
                 sldwa_sum: 0.0,
                 switches: 0,
                 steps: 0,
+                crashed: 0,
+                timed_out: 0,
                 exact: None,
             });
         }
     }
+    let mut failure_cells = Vec::new();
     for (i, cell) in cells.iter().enumerate() {
         let g = &mut groups[i % group_count];
+        match record_status(cell) {
+            "ok" => {}
+            status => {
+                // A degraded cell contributes to the failure census only;
+                // `shards` stays the count of cells behind the means.
+                if status == "crashed" {
+                    g.crashed += 1;
+                } else {
+                    g.timed_out += 1;
+                }
+                let mut entry = JsonValue::object()
+                    .with("cell", i)
+                    .with("shard", int(cell, "shard"))
+                    .with("selector", cell.get("selector").cloned().unwrap_or(JsonValue::Null))
+                    .with("factor", num(cell, "factor"))
+                    .with("status", status)
+                    .with("attempts", int(cell, "attempts"));
+                if let Some(p) = cell.get("panic") {
+                    entry = entry.with("panic", p.clone());
+                }
+                if let Some(at) = cell.get("panic_at") {
+                    entry = entry.with("panic_at", at.clone());
+                }
+                failure_cells.push(entry);
+                continue;
+            }
+        }
         g.shards += 1;
         g.jobs += int(cell, "jobs");
         g.completed += int(cell, "completed");
@@ -165,22 +202,38 @@ pub fn build(config: &CampaignConfig, n_shards: usize, cells: &[JsonValue]) -> B
     let mut per_shard = Vec::with_capacity(n_shards);
     for chunk in cells.chunks(group_count.max(1)) {
         let Some(first) = chunk.first() else { continue };
+        // A degraded record carries the shard identity but no job count;
+        // read `jobs` from any ok sibling of the same shard.
+        let jobs = chunk
+            .iter()
+            .find(|c| record_status(c) == "ok")
+            .map(|c| int(c, "jobs"))
+            .unwrap_or(0);
         per_shard.push(
             JsonValue::object()
                 .with("shard", int(first, "shard"))
                 .with("from", int(first, "from"))
                 .with("to", int(first, "to"))
-                .with("jobs", int(first, "jobs"))
+                .with("jobs", jobs)
                 .with(
                     "rows",
                     JsonValue::Array(
                         chunk
                             .iter()
                             .map(|cell| {
+                                let degraded = record_status(cell) != "ok";
                                 JsonValue::object()
                                     .with("selector", cell.get("selector").cloned().unwrap_or(JsonValue::Null))
                                     .with("factor", num(cell, "factor"))
-                                    .with("sldwa", num(cell, "sldwa"))
+                                    .with("status", record_status(cell))
+                                    .with(
+                                        "sldwa",
+                                        if degraded {
+                                            JsonValue::Null
+                                        } else {
+                                            JsonValue::from(num(cell, "sldwa"))
+                                        },
+                                    )
                                     .with("switches", int(cell, "switches"))
                             })
                             .collect(),
@@ -188,6 +241,13 @@ pub fn build(config: &CampaignConfig, n_shards: usize, cells: &[JsonValue]) -> B
                 ),
         );
     }
+
+    let crashed_total: usize = groups.iter().map(|g| g.crashed).sum();
+    let timed_out_total: usize = groups.iter().map(|g| g.timed_out).sum();
+    let failures = JsonValue::object()
+        .with("crashed", crashed_total)
+        .with("timed_out", timed_out_total)
+        .with("cells", JsonValue::Array(failure_cells));
 
     let json = JsonValue::object()
         .with("campaign", config.name.as_str())
@@ -213,6 +273,7 @@ pub fn build(config: &CampaignConfig, n_shards: usize, cells: &[JsonValue]) -> B
             "overall",
             JsonValue::Array(groups.iter().map(GroupAggregate::to_json).collect()),
         )
+        .with("failures", failures)
         .with("per_shard", JsonValue::Array(per_shard));
 
     BuiltReport {
@@ -269,6 +330,37 @@ fn render_text(
             loss
         );
     }
+    let degraded: Vec<(usize, &JsonValue)> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| record_status(c) != "ok")
+        .collect();
+    if !degraded.is_empty() {
+        let crashed = degraded.iter().filter(|(_, c)| record_status(c) == "crashed").count();
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "failures: {} crashed, {} timed out (excluded from the means above)",
+            crashed,
+            degraded.len() - crashed
+        );
+        for (i, cell) in &degraded {
+            let selector = cell.get("selector").and_then(JsonValue::as_str).unwrap_or("?");
+            let mut line = format!(
+                "  cell {:>4}  shard {:>4}  {}@{:.2}  {}  after {} attempt(s)",
+                i,
+                int(cell, "shard"),
+                selector,
+                num(cell, "factor"),
+                record_status(cell),
+                int(cell, "attempts"),
+            );
+            if let Some(p) = cell.get("panic").and_then(JsonValue::as_str) {
+                let _ = write!(line, " — {p}");
+            }
+            let _ = writeln!(out, "{line}");
+        }
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "per-shard SLDwA (rows: shards; columns: selector@factor):");
     let mut header = format!("{:>7} {:>9}", "shard", "jobs");
@@ -278,9 +370,21 @@ fn render_text(
     let _ = writeln!(out, "{header}");
     for chunk in cells.chunks(group_count.max(1)) {
         let Some(first) = chunk.first() else { continue };
-        let mut row = format!("{:>7} {:>9}", int(first, "shard"), int(first, "jobs"));
+        let jobs = chunk
+            .iter()
+            .find(|c| record_status(c) == "ok")
+            .map(|c| int(c, "jobs"))
+            .unwrap_or(0);
+        let mut row = format!("{:>7} {:>9}", int(first, "shard"), jobs);
         for cell in chunk {
-            let _ = write!(row, " {:>22.4}", num(cell, "sldwa"));
+            match record_status(cell) {
+                "ok" => {
+                    let _ = write!(row, " {:>22.4}", num(cell, "sldwa"));
+                }
+                status => {
+                    let _ = write!(row, " {status:>22}");
+                }
+            }
         }
         let _ = writeln!(out, "{row}");
     }
@@ -369,6 +473,84 @@ mod tests {
         let rows = per_shard[1].get("rows").unwrap().as_array().unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get("sldwa").unwrap().as_f64().unwrap(), 4.0);
+    }
+
+    fn crashed_cell(shard: u64, selector: &str, factor: f64) -> JsonValue {
+        JsonValue::object()
+            .with("shard", shard)
+            .with("from", shard * 100)
+            .with("to", (shard + 1) * 100)
+            .with("selector", selector)
+            .with("factor", factor)
+            .with("status", "crashed")
+            .with("attempts", 2u64)
+            .with("panic", "injected fault: panic in cell 2 (attempt 2)")
+            .with("panic_at", "crates/exp/src/campaign.rs:1:1")
+    }
+
+    #[test]
+    fn degraded_cells_feed_the_census_not_the_means() {
+        let cells = vec![
+            cell(0, "FCFS", 1.0, 2.0),
+            cell(0, "dynP(SLDwA,simple)", 1.0, 1.5),
+            crashed_cell(1, "FCFS", 1.0),
+            cell(1, "dynP(SLDwA,simple)", 1.0, 2.5),
+        ];
+        let built = build(&test_config(), 2, &cells);
+        let overall = built.json.get("overall").unwrap().as_array().unwrap();
+        let fcfs = &overall[0];
+        // Only shard 0 contributes: the mean is its value, not (2.0+0)/2.
+        assert_eq!(fcfs.get("shards").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(fcfs.get("sldwa_mean").unwrap().as_f64().unwrap(), 2.0);
+        assert_eq!(fcfs.get("crashed").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(fcfs.get("timed_out").unwrap().as_u64().unwrap(), 0);
+        let dynp = &overall[1];
+        assert_eq!(dynp.get("shards").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(dynp.get("crashed").unwrap().as_u64().unwrap(), 0);
+
+        let failures = built.json.get("failures").unwrap();
+        assert_eq!(failures.get("crashed").unwrap().as_u64().unwrap(), 1);
+        assert_eq!(failures.get("timed_out").unwrap().as_u64().unwrap(), 0);
+        let listed = failures.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].get("cell").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(listed[0].get("status").unwrap().as_str().unwrap(), "crashed");
+        assert_eq!(listed[0].get("attempts").unwrap().as_u64().unwrap(), 2);
+        assert!(listed[0]
+            .get("panic")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("injected fault"));
+
+        // Per-shard row: Null sldwa, jobs read from the ok sibling.
+        let per_shard = built.json.get("per_shard").unwrap().as_array().unwrap();
+        let shard1 = &per_shard[1];
+        assert_eq!(shard1.get("jobs").unwrap().as_u64().unwrap(), 10);
+        let rows = shard1.get("rows").unwrap().as_array().unwrap();
+        assert!(matches!(rows[0].get("sldwa"), Some(JsonValue::Null)));
+        assert_eq!(rows[0].get("status").unwrap().as_str().unwrap(), "crashed");
+        assert_eq!(rows[1].get("status").unwrap().as_str().unwrap(), "ok");
+
+        // Text: the failures block and the status in the matrix.
+        assert!(built.text.contains("failures: 1 crashed, 0 timed out"));
+        assert!(built.text.contains("crashed"));
+        dynp_obs::validate_json(&built.json.to_json()).unwrap();
+    }
+
+    #[test]
+    fn records_without_status_count_as_ok() {
+        // Pre-failure-model checkpoints carry no `status` key.
+        let cells = vec![
+            cell(0, "FCFS", 1.0, 2.0),
+            cell(0, "dynP(SLDwA,simple)", 1.0, 1.5),
+        ];
+        let built = build(&test_config(), 1, &cells);
+        let failures = built.json.get("failures").unwrap();
+        assert_eq!(failures.get("crashed").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(failures.get("timed_out").unwrap().as_u64().unwrap(), 0);
+        assert!(failures.get("cells").unwrap().as_array().unwrap().is_empty());
+        assert!(!built.text.contains("failures:"));
     }
 
     #[test]

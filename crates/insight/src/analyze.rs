@@ -267,6 +267,13 @@ fn analyze_run(
     let mut milp_exits: Vec<MilpExit> = Vec::new();
     let mut dynp_decisions = 0u64;
     let mut dynp_switches = 0u64;
+    // Failure census: the fault-tolerance events the campaign runner
+    // emits. Crashes, timeouts, and retry decisions are deterministic
+    // for a given config + fault plan, so the census is logical.
+    let mut cell_crashed = 0u64;
+    let mut cell_timeout = 0u64;
+    let mut cell_retry = 0u64;
+    let mut checkpoint_write_failed = 0u64;
     // Online alert census: transitions by rule, split by direction. The
     // rates and p99s that drive alerts are wall-clock quantities, so the
     // census lives in the timing section (a watched run and an identical
@@ -320,6 +327,10 @@ fn analyze_run(
                     dynp_switches += 1;
                 }
             }
+            "exp.cell_crashed" => cell_crashed += 1,
+            "exp.cell_timeout" => cell_timeout += 1,
+            "exp.cell_retry" => cell_retry += 1,
+            "exp.checkpoint_write_failed" => checkpoint_write_failed += 1,
             "alert" => {
                 let rule = ev.s("rule").unwrap_or("?").to_string();
                 if ev.s("state") == Some("firing") {
@@ -438,6 +449,14 @@ fn analyze_run(
             JsonValue::object()
                 .with("decisions", dynp_decisions)
                 .with("switches", dynp_switches),
+        )
+        .with(
+            "faults",
+            JsonValue::object()
+                .with("cell_crashed", cell_crashed)
+                .with("cell_timeout", cell_timeout)
+                .with("cell_retry", cell_retry)
+                .with("checkpoint_write_failed", checkpoint_write_failed),
         );
 
     // Timing: slowest cells by their root span, then the critical path
@@ -584,6 +603,17 @@ pub fn render_text(report: &JsonValue) -> String {
                 let dec = dynp.get("decisions").and_then(JsonValue::as_u64).unwrap_or(0);
                 let sw = dynp.get("switches").and_then(JsonValue::as_u64).unwrap_or(0);
                 let _ = writeln!(out, "    dynP: {dec} decisions, {sw} switches");
+            }
+            if let Some(faults) = run.get("faults") {
+                let g = |k: &str| faults.get(k).and_then(JsonValue::as_u64).unwrap_or(0);
+                let (crashed, timeout) = (g("cell_crashed"), g("cell_timeout"));
+                let (retries, ckpt) = (g("cell_retry"), g("checkpoint_write_failed"));
+                if crashed + timeout + retries + ckpt > 0 {
+                    let _ = writeln!(
+                        out,
+                        "    faults: {crashed} crashed, {timeout} timed out, {retries} retries, {ckpt} checkpoint write failures"
+                    );
+                }
             }
         }
     }
@@ -808,6 +838,59 @@ mod tests {
             .and_then(|r| r[0].get("structure").cloned())
             .unwrap();
         assert_eq!(structure.get("orphan_spans").and_then(JsonValue::as_u64), Some(1));
+    }
+
+    #[test]
+    fn fault_events_feed_the_failure_census() {
+        // Fault events are emitted inside the cell's trace context, so
+        // the cell index rides in the envelope like any other cell event.
+        let camp = format!("{:016x}", dynp_obs::campaign_hash("fp"));
+        let base = |c: u64| (c + 1) << 32;
+        let lines = [
+            r#"{"ts":0.0,"target":"exp.campaign_start","seq":0,"name":"faulty","fingerprint":"fp","shards":2,"cells":4}"#
+                .to_string(),
+            format!(
+                r#"{{"ts":0.1,"target":"exp.cell_retry","seq":1,"campaign":"{camp}","cell":0,"span":{},"parent":0,"attempt":1,"max_attempts":2}}"#,
+                base(0)
+            ),
+            format!(
+                r#"{{"ts":0.2,"target":"exp.cell_crashed","seq":2,"campaign":"{camp}","cell":0,"span":{},"parent":0,"attempt":2,"panic":"boom","at":"campaign.rs"}}"#,
+                base(0)
+            ),
+            format!(
+                r#"{{"ts":0.3,"target":"exp.cell_timeout","seq":3,"campaign":"{camp}","cell":1,"span":{},"parent":0,"attempt":1}}"#,
+                base(1)
+            ),
+            format!(
+                r#"{{"ts":0.4,"target":"exp.checkpoint_write_failed","seq":4,"campaign":"{camp}","cell":2,"span":{},"parent":0,"cell":2,"error":"injected checkpoint i/o fault"}}"#,
+                base(2)
+            ),
+        ];
+        let merged = merge_lines("faulty.events.jsonl", lines.iter().map(String::as_str));
+        assert_eq!(merged.rejected, 0);
+        let report = analyze_groups(&[merged], &Options::default());
+        let run = report
+            .get("logical")
+            .and_then(|l| l.get("groups"))
+            .and_then(JsonValue::as_array)
+            .and_then(|g| g[0].get("runs"))
+            .and_then(JsonValue::as_array)
+            .map(|r| r[0].clone())
+            .unwrap();
+        let faults = run.get("faults").unwrap();
+        assert_eq!(faults.get("cell_crashed").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(faults.get("cell_timeout").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(faults.get("cell_retry").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            faults.get("checkpoint_write_failed").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        let text = render_text(&report);
+        assert!(text.contains("faults: 1 crashed, 1 timed out, 1 retries, 1 checkpoint write failures"));
+        // A clean run keeps its faults line silent.
+        let clean = merge_lines("mini.events.jsonl", mini_log().iter().map(String::as_str));
+        let clean_text = render_text(&analyze_groups(&[clean], &Options::default()));
+        assert!(!clean_text.contains("faults:"));
     }
 
     #[test]

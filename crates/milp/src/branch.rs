@@ -344,6 +344,14 @@ impl<'a> BranchBound<'a> {
                     break;
                 }
             }
+            // The cooperative cancel token (a campaign cell's wall-clock
+            // deadline) is the external analogue of `time_limit`: the
+            // search winds down exactly like any other exhausted budget,
+            // keeping "CPLEX still running" a value, not an abort.
+            if dynp_obs::cancelled() {
+                hit_limit = true;
+                break;
+            }
             nodes_explored += 1;
             let _node_span = Span::enter("milp.node");
             if let Some(m) = &m_nodes {

@@ -11,6 +11,8 @@
 //! list scheduler the policies use, which guarantees the result is a valid
 //! schedule and that no job starts later than its slot-grid start.
 
+use std::collections::{HashMap, HashSet};
+
 use dynp_sched::{plan_ordered, PlanError, Schedule, SchedulingProblem};
 use dynp_trace::JobId;
 
@@ -18,25 +20,24 @@ use dynp_trace::JobId;
 /// second resolution. Jobs absent from `order` are appended in snapshot
 /// order — defensive, but normal callers pass a full permutation.
 ///
-/// Fails with [`PlanError`] if any job can never fit the machine.
-///
-/// # Panics
-/// Panics if `order` references a job not in the snapshot.
+/// Fails with [`PlanError::JobTooWide`] if any job can never fit the
+/// machine, and with [`PlanError::UnknownJob`] if `order` references a
+/// job not in the snapshot (a solver/snapshot mismatch must surface as a
+/// value, not unwind through a campaign worker).
 pub fn compact(
     problem: &SchedulingProblem,
     order: &[JobId],
 ) -> Result<Schedule, PlanError> {
+    let by_id: HashMap<JobId, &dynp_trace::Job> =
+        problem.jobs.iter().map(|j| (j.id, j)).collect();
     let mut jobs = Vec::with_capacity(problem.jobs.len());
     for id in order {
-        let job = problem
-            .jobs
-            .iter()
-            .find(|j| j.id == *id)
-            .unwrap_or_else(|| panic!("job {id} not in snapshot"));
-        jobs.push(*job);
+        let job = by_id.get(id).ok_or(PlanError::UnknownJob { id: *id })?;
+        jobs.push(**job);
     }
+    let ordered: HashSet<JobId> = order.iter().copied().collect();
     for job in &problem.jobs {
-        if !order.contains(&job.id) {
+        if !ordered.contains(&job.id) {
             jobs.push(*job);
         }
     }
@@ -131,9 +132,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not in snapshot")]
-    fn unknown_job_panics() {
+    fn unknown_job_is_a_typed_error() {
         let p = SchedulingProblem::on_empty_machine(0, 2, vec![Job::exact(0, 0, 1, 10)]);
-        let _ = compact(&p, &[JobId(99)]);
+        assert_eq!(
+            compact(&p, &[JobId(99)]),
+            Err(PlanError::UnknownJob { id: JobId(99) })
+        );
+    }
+
+    /// The hash-set membership rewrite must order jobs exactly like the
+    /// old O(n²) `order.contains` scan: `order` first, then the
+    /// remaining jobs in snapshot order.
+    #[test]
+    fn hashed_membership_matches_linear_scan_ordering() {
+        let jobs: Vec<Job> = (0..40).map(|i| Job::exact(i, 0, 1, 10 + u64::from(i))).collect();
+        let p = SchedulingProblem::on_empty_machine(0, 64, jobs.clone());
+        // A partial, scrambled order: every third job, reversed.
+        let order: Vec<JobId> = jobs.iter().rev().step_by(3).map(|j| j.id).collect();
+        let fast = compact(&p, &order).unwrap();
+        // Reference: the pre-rewrite membership logic, verbatim.
+        let mut reference = Vec::with_capacity(jobs.len());
+        for id in &order {
+            reference.push(*jobs.iter().find(|j| j.id == *id).unwrap());
+        }
+        for job in &jobs {
+            if !order.contains(&job.id) {
+                reference.push(*job);
+            }
+        }
+        let slow = plan_ordered(&p, &reference).unwrap();
+        assert_eq!(fast, slow);
     }
 }

@@ -566,6 +566,14 @@ impl<'a> Simplex<'a> {
             if self.iterations >= max_iterations {
                 return Err(LpOutcome::IterationLimit);
             }
+            // Poll the cooperative cancel token every 256 iterations; a
+            // cancelled LP surfaces as the iteration limit, which the
+            // branch-and-bound loop already folds into its budget
+            // accounting. The mask keeps the common-path cost at one
+            // branch per iteration.
+            if self.iterations & 0xff == 0 && dynp_obs::cancelled() {
+                return Err(LpOutcome::IterationLimit);
+            }
             self.iterations += 1;
             if self.pivots_since_refactor >= REFACTOR_EVERY {
                 self.refactorize();

@@ -31,6 +31,11 @@
 //! * **Alerts** — declarative online [`alert::Rule`]s (counter rate,
 //!   gauge threshold, histogram p99 bound) evaluated on a sampling
 //!   tick by an [`AlertSet`]; state transitions land in the event log.
+//! * **Cancellation** — a cooperative [`CancelToken`] with an optional
+//!   wall-clock deadline, installed thread-locally ([`install_cancel`])
+//!   and polled from the solver's and simulator's unbounded loops via
+//!   [`cancelled`]; how campaign cells get a wall-clock budget without
+//!   new dependency edges.
 //!
 //! The [`Recorder`] owns the metric registries and the event sink.
 //! Production code uses the optional process-global recorder:
@@ -55,6 +60,7 @@
 //! ```
 
 pub mod alert;
+pub mod cancel;
 pub mod context;
 pub mod expo;
 pub mod json;
@@ -63,6 +69,7 @@ pub mod profile;
 mod recorder;
 
 pub use alert::{AlertSet, Rule, RuleKind};
+pub use cancel::{cancelled, install_cancel, CancelGuard, CancelToken};
 pub use context::{campaign_hash, cell_span_base, enter_cell, span, CellGuard, SpanGuard, TraceContext};
 pub use json::{parse as parse_json, validate as validate_json, JsonValue};
 pub use metrics::{bucket_index, bucket_lower_bound, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS};

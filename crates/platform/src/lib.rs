@@ -19,5 +19,5 @@ pub mod machine;
 pub mod profile;
 
 pub use history::{HistoryPoint, MachineHistory};
-pub use machine::{Machine, RunningJob};
+pub use machine::{Machine, MachineError, RunningJob};
 pub use profile::ResourceProfile;

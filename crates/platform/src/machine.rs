@@ -7,8 +7,30 @@
 //! is always derived from their *estimated* ends (§3.1), because that is all
 //! a real RMS knows.
 
+use std::fmt;
+
 use crate::history::MachineHistory;
 use dynp_trace::{Job, JobId};
+
+/// A machine-state transition that cannot be applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// [`Machine::complete`] was called for a job that is not running —
+    /// a double completion, or a completion for a job never started.
+    NotRunning(JobId),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::NotRunning(id) => {
+                write!(f, "completing {id:?} which is not running")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
 
 /// A job currently occupying resources.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -95,19 +117,18 @@ impl Machine {
     }
 
     /// Completes the running job `id`, releasing its resources. Returns the
-    /// released record.
-    ///
-    /// # Panics
-    /// Panics if no such job is running.
-    pub fn complete(&mut self, id: JobId) -> RunningJob {
+    /// released record, or [`MachineError::NotRunning`] if no such job is
+    /// running (a double completion must not corrupt the free count, let
+    /// alone abort a simulation).
+    pub fn complete(&mut self, id: JobId) -> Result<RunningJob, MachineError> {
         let idx = self
             .running
             .iter()
             .position(|r| r.id == id)
-            .unwrap_or_else(|| panic!("completing {id:?} which is not running"));
+            .ok_or(MachineError::NotRunning(id))?;
         let record = self.running.swap_remove(idx);
         self.free += record.width;
-        record
+        Ok(record)
     }
 
     /// Renders the machine history at time `now` from the running set's
@@ -144,7 +165,7 @@ mod tests {
         assert_eq!(end, 150);
         assert_eq!(m.free(), 6);
         assert_eq!(m.busy(), 4);
-        let rec = m.complete(JobId(1));
+        let rec = m.complete(JobId(1)).unwrap();
         assert_eq!(rec.width, 4);
         assert_eq!(m.free(), 10);
         assert!(m.running().is_empty());
@@ -179,10 +200,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not running")]
-    fn complete_unknown_job_panics() {
+    fn complete_unknown_job_is_a_typed_error() {
         let mut m = Machine::new(4);
-        m.complete(JobId(7));
+        assert_eq!(m.complete(JobId(7)), Err(MachineError::NotRunning(JobId(7))));
+    }
+
+    #[test]
+    fn double_completion_leaves_state_intact() {
+        let mut m = Machine::new(4);
+        m.start(&Job::exact(1, 0, 3, 10), 0);
+        assert!(m.complete(JobId(1)).is_ok());
+        // The second completion is refused and the free count does not
+        // drift past capacity.
+        assert_eq!(m.complete(JobId(1)), Err(MachineError::NotRunning(JobId(1))));
+        assert_eq!(m.free(), 4);
     }
 
     #[test]

@@ -42,6 +42,13 @@ pub enum PlanError {
         /// count falls below).
         capacity: u32,
     },
+    /// An explicit job order referenced a job id that is not part of the
+    /// snapshot being planned (raised by MILP compaction when the solver's
+    /// starting order disagrees with the problem it was built from).
+    UnknownJob {
+        /// The referenced-but-absent job.
+        id: dynp_trace::JobId,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -55,6 +62,7 @@ impl std::fmt::Display for PlanError {
                 f,
                 "job {id} (width {width}) cannot ever fit machine of {capacity}"
             ),
+            PlanError::UnknownJob { id } => write!(f, "job {id} not in snapshot"),
         }
     }
 }

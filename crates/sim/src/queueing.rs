@@ -173,7 +173,11 @@ impl Model for QueueRms {
                 self.dispatch(now, queue);
             }
             QueueEvent::Finish(id) => {
-                self.machine.complete(id);
+                if self.machine.complete(id).is_err() {
+                    // Duplicate completion: nothing was released, so
+                    // there is nothing to record or dispatch against.
+                    return;
+                }
                 let (job, start) = self.started.remove(&id).expect("was started");
                 self.records.push(JobRecord {
                     id,

@@ -11,7 +11,7 @@ use crate::snapshots::SnapshotLog;
 use dynp_core::PolicySelector;
 use dynp_des::{EventQueue, Model};
 use dynp_platform::Machine;
-use dynp_sched::{plan, Policy, SchedulingProblem};
+use dynp_sched::{plan, PlanError, Policy, SchedulingProblem};
 use dynp_trace::{Job, JobId};
 use std::collections::HashMap;
 
@@ -22,6 +22,21 @@ pub enum RmsEvent {
     Submit(Job),
     /// A running job completes (its *actual* end).
     Finish(JobId),
+}
+
+/// Everything an [`Rms`] hands back after a run (see [`Rms::into_parts`]).
+#[derive(Debug)]
+pub struct RmsParts<S> {
+    /// Completed-job records, in completion order.
+    pub records: Vec<JobRecord>,
+    /// `(time, policy)` at every selection point.
+    pub policy_log: Vec<(u64, Policy)>,
+    /// The snapshot tap.
+    pub snapshot_log: SnapshotLog,
+    /// The policy selector, with whatever statistics it accumulated.
+    pub selector: S,
+    /// Jobs refused as unplannable.
+    pub declined: Vec<Job>,
 }
 
 /// The resource management system under simulation.
@@ -46,6 +61,9 @@ pub struct Rms<S: PolicySelector> {
     /// Run a self-tuning step on completions too (extension; the paper
     /// tunes on submissions only).
     tune_on_finish: bool,
+    /// Jobs refused because no planner could ever place them (wider than
+    /// the machine); the malformed-input analogue of a trace filter.
+    declined: Vec<Job>,
 }
 
 impl<S: PolicySelector> Rms<S> {
@@ -62,6 +80,7 @@ impl<S: PolicySelector> Rms<S> {
             snapshot_log,
             active: None,
             tune_on_finish: false,
+            declined: Vec::new(),
         }
     }
 
@@ -96,53 +115,110 @@ impl<S: PolicySelector> Rms<S> {
         &self.selector
     }
 
-    /// Decomposes the RMS into its result parts:
-    /// `(records, policy log, snapshots, selector)`.
-    pub fn into_parts(self) -> (Vec<JobRecord>, Vec<(u64, Policy)>, SnapshotLog, S) {
-        (
-            self.records,
-            self.policy_log,
-            self.snapshot_log,
-            self.selector,
-        )
+    /// Jobs refused as unplannable (see [`Rms::handle`] on `Submit`).
+    pub fn declined(&self) -> &[Job] {
+        &self.declined
+    }
+
+    /// Decomposes the RMS into its result parts.
+    pub fn into_parts(self) -> RmsParts<S> {
+        RmsParts {
+            records: self.records,
+            policy_log: self.policy_log,
+            snapshot_log: self.snapshot_log,
+            selector: self.selector,
+            declined: self.declined,
+        }
+    }
+
+    /// Records `job` as declined, with the error as the reason.
+    fn record_declined(&mut self, job: Job, now: u64, error: &PlanError) {
+        if let Some(r) = dynp_obs::recorder() {
+            r.counter("sim.jobs_declined").inc();
+            r.event("sim.job_declined")
+                .kv("job", format!("{}", job.id))
+                .kv("time", now)
+                .kv("reason", error.to_string())
+                .emit();
+        }
+        self.declined.push(job);
+    }
+
+    /// Removes the job a [`PlanError`] names from the waiting queue and
+    /// records it as declined. Returns `false` if the job is not waiting
+    /// (nothing to decline — the caller must not retry, or it would spin).
+    fn decline(&mut self, now: u64, error: &PlanError) -> bool {
+        let id = match error {
+            PlanError::JobTooWide { id, .. } => *id,
+            PlanError::UnknownJob { id } => *id,
+        };
+        let Some(idx) = self.waiting.iter().position(|j| j.id == id) else {
+            return false;
+        };
+        let job = self.waiting.swap_remove(idx);
+        self.record_declined(job, now, error);
+        true
     }
 
     /// Re-plans the full schedule and dispatches all jobs due now.
     /// `tune` decides whether the policy selector runs a self-tuning step
     /// or the active policy is reused.
+    ///
+    /// A [`PlanError`] from the selector or the planner names a single
+    /// unplannable job; that job is declined and planning retries with
+    /// the rest of the queue — one malformed job must not kill the
+    /// simulation (it used to unwind a whole campaign cell).
     fn replan(&mut self, now: u64, queue: &mut EventQueue<RmsEvent>, tune: bool) {
-        if self.waiting.is_empty() {
+        loop {
+            if self.waiting.is_empty() {
+                return;
+            }
+            let problem =
+                SchedulingProblem::new(now, self.machine.history(now), self.waiting.clone());
+            let policy = match self.active {
+                Some(active) if !tune => active,
+                _ => match self.selector.select(&problem) {
+                    Ok(chosen) => {
+                        self.policy_log.push((now, chosen));
+                        self.snapshot_log.offer(&problem, chosen);
+                        chosen
+                    }
+                    Err(e) => {
+                        if self.decline(now, &e) {
+                            continue;
+                        }
+                        return;
+                    }
+                },
+            };
+            self.active = Some(policy);
+            let schedule = match plan(&problem, policy) {
+                Ok(s) => s,
+                Err(e) => {
+                    if self.decline(now, &e) {
+                        continue;
+                    }
+                    return;
+                }
+            };
+            debug_assert!(schedule.validate(&problem).is_ok());
+            // Dispatch everything planned to start right now.
+            for entry in schedule.entries() {
+                if entry.start != now {
+                    continue;
+                }
+                let idx = self
+                    .waiting
+                    .iter()
+                    .position(|j| j.id == entry.id)
+                    .expect("planned job is waiting");
+                let job = self.waiting.swap_remove(idx);
+                let actual_end = self.machine.start(&job, now);
+                self.started.insert(job.id, job);
+                self.start_times.insert(job.id, now);
+                queue.schedule(actual_end, RmsEvent::Finish(job.id));
+            }
             return;
-        }
-        let problem = SchedulingProblem::new(now, self.machine.history(now), self.waiting.clone());
-        let policy = match self.active {
-            Some(active) if !tune => active,
-            _ => {
-                let chosen = self.selector.select(&problem);
-                self.policy_log.push((now, chosen));
-                self.snapshot_log.offer(&problem, chosen);
-                chosen
-            }
-        };
-        self.active = Some(policy);
-        let schedule =
-            plan(&problem, policy).expect("job width asserted <= capacity at submit");
-        debug_assert!(schedule.validate(&problem).is_ok());
-        // Dispatch everything planned to start right now.
-        for entry in schedule.entries() {
-            if entry.start != now {
-                continue;
-            }
-            let idx = self
-                .waiting
-                .iter()
-                .position(|j| j.id == entry.id)
-                .expect("planned job is waiting");
-            let job = self.waiting.swap_remove(idx);
-            let actual_end = self.machine.start(&job, now);
-            self.started.insert(job.id, job);
-            self.start_times.insert(job.id, now);
-            queue.schedule(actual_end, RmsEvent::Finish(job.id));
         }
     }
 }
@@ -154,18 +230,37 @@ impl<S: PolicySelector> Model for Rms<S> {
         match event {
             RmsEvent::Submit(job) => {
                 debug_assert!(job.submit == now, "submit event at wrong time");
-                assert!(
-                    job.width <= self.machine.capacity(),
-                    "job {} wider than machine — filter the trace first",
-                    job.id
-                );
+                if job.width > self.machine.capacity() {
+                    // A job no planner can ever place is declined at the
+                    // door (a real RMS rejects it at submission); it used
+                    // to be an assert, which let one malformed job abort
+                    // a whole campaign cell.
+                    let error = PlanError::JobTooWide {
+                        id: job.id,
+                        width: job.width,
+                        capacity: self.machine.capacity(),
+                    };
+                    self.record_declined(job, now, &error);
+                    return;
+                }
                 self.waiting.push(job);
                 // Every submission is a self-tuning step (§4: "at every job
                 // submission").
                 self.replan(now, queue, true);
             }
             RmsEvent::Finish(id) => {
-                self.machine.complete(id);
+                if self.machine.complete(id).is_err() {
+                    // A duplicate (or spurious) completion releases
+                    // nothing and must not corrupt the records.
+                    if let Some(r) = dynp_obs::recorder() {
+                        r.counter("sim.duplicate_finish").inc();
+                        r.event("sim.duplicate_finish")
+                            .kv("job", format!("{id}"))
+                            .kv("time", now)
+                            .emit();
+                    }
+                    return;
+                }
                 let job = self.started.remove(&id).expect("finished job was started");
                 let start = self.start_times.remove(&id).expect("start recorded");
                 self.records.push(JobRecord {
@@ -303,8 +398,76 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "wider than machine")]
-    fn oversized_job_panics() {
-        drive(4, vec![Job::exact(0, 0, 8, 100)], Policy::Fcfs);
+    fn oversized_job_is_declined_not_fatal() {
+        let rms = drive(
+            4,
+            vec![Job::exact(0, 0, 2, 100), Job::exact(1, 5, 8, 100)],
+            Policy::Fcfs,
+        );
+        assert_eq!(rms.records().len(), 1, "the plannable job completes");
+        assert_eq!(rms.declined().len(), 1);
+        assert_eq!(rms.declined()[0].id, JobId(1));
+        assert_eq!(rms.machine().free(), 4);
+    }
+
+    /// A malformed job injected mid-simulation (the queue already busy)
+    /// must decline alone: every other job completes as if it never
+    /// arrived. This drives `Rms` directly because `simulate()` filters
+    /// oversized jobs before submission.
+    #[test]
+    fn oversized_job_injected_mid_simulation_declines_alone() {
+        let jobs = vec![
+            Job::exact(0, 0, 4, 100),  // running when the bad job arrives
+            Job::exact(1, 10, 9, 50),  // wider than the machine
+            Job::exact(2, 20, 4, 100), // must still complete
+        ];
+        let rms = drive(4, jobs, Policy::Fcfs);
+        assert_eq!(rms.declined().len(), 1);
+        assert_eq!(rms.declined()[0].id, JobId(1));
+        let mut records = rms.records().to_vec();
+        records.sort_by_key(|r| r.id);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].start, 0);
+        assert_eq!(records[1].start, 100, "queue drains as if job 1 never came");
+    }
+
+    /// Same injection under dynP: the self-tuning step's `PlanError`
+    /// surfaces through the selector, the job declines, and the cell
+    /// (here: the run) finishes.
+    #[test]
+    fn dynp_declines_oversized_job_injected_mid_simulation() {
+        let mut rms = Rms::new(
+            4,
+            dynp_core::SelfTuning::paper_config(dynp_sched::Metric::SldwA),
+            SnapshotLog::disabled(),
+        );
+        let mut queue = EventQueue::new();
+        for job in [
+            Job::exact(0, 0, 4, 100),
+            Job::exact(1, 10, 9, 50),
+            Job::exact(2, 10, 2, 60),
+        ] {
+            queue.schedule(job.submit, RmsEvent::Submit(job));
+        }
+        run_to_completion(&mut rms, &mut queue);
+        assert_eq!(rms.declined().len(), 1);
+        assert_eq!(rms.declined()[0].id, JobId(1));
+        assert_eq!(rms.records().len(), 2);
+        assert_eq!(rms.machine().free(), 4);
+    }
+
+    /// Regression: a duplicate Finish event must be ignored, not panic,
+    /// and must not corrupt the machine's free count.
+    #[test]
+    fn duplicate_finish_event_is_ignored() {
+        let mut rms = Rms::new(4, FixedPolicy(Policy::Fcfs), SnapshotLog::disabled());
+        let mut queue = EventQueue::new();
+        queue.schedule(0, RmsEvent::Submit(Job::exact(0, 0, 2, 50)));
+        // The spurious second completion for a job the first Finish will
+        // have already released.
+        queue.schedule(60, RmsEvent::Finish(JobId(0)));
+        run_to_completion(&mut rms, &mut queue);
+        assert_eq!(rms.records().len(), 1);
+        assert_eq!(rms.machine().free(), 4, "free count must not drift");
     }
 }

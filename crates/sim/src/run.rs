@@ -111,7 +111,11 @@ pub fn simulate<S: PolicySelector>(jobs: &[Job], selector: S, config: SimConfig)
             .emit();
     }
     let machine_size = rms.machine().capacity();
-    let (records, policy_log, snapshot_log, selector) = rms.into_parts();
+    let crate::rms::RmsParts { records, policy_log, snapshot_log, selector, declined } = rms.into_parts();
+    // Jobs the RMS declined mid-run (none on this path — the width filter
+    // above catches them first — unless a selector rejects a job for
+    // another reason) join the pre-filtered ones.
+    skipped.extend(declined);
     let summary = SimSummary::compute(&records, machine_size);
     SimRun {
         summary,

@@ -1,8 +1,9 @@
 //! The `GET /progress` view: campaign completion and an ETA derived
 //! from the per-cell latency histogram.
 //!
-//! `run_campaign` publishes four gauges (`exp.cells_total`,
-//! `exp.cells_done`, `exp.cells_inflight`, `exp.workers`) and records
+//! `run_campaign` publishes five gauges (`exp.cells_total`,
+//! `exp.cells_done`, `exp.cells_inflight`, `exp.cells_degraded`,
+//! `exp.workers`) and records
 //! every finished cell's wall time into the `exp.cell` histogram. This
 //! module only *reads* the snapshots — it never registers metrics, so a
 //! `/progress` poll against a process that is not running a campaign
@@ -31,6 +32,7 @@ pub fn progress_json(recorder: &Recorder) -> JsonValue {
     let total = gauge("exp.cells_total");
     let done = gauge("exp.cells_done").unwrap_or(0).max(0);
     let inflight = gauge("exp.cells_inflight").unwrap_or(0).max(0);
+    let degraded = gauge("exp.cells_degraded").unwrap_or(0).max(0);
     let workers = gauge("exp.workers").unwrap_or(1).max(1);
 
     let mut out = JsonValue::object()
@@ -42,6 +44,7 @@ pub fn progress_json(recorder: &Recorder) -> JsonValue {
             .with("cells_total", JsonValue::Null)
             .with("cells_done", JsonValue::Null)
             .with("cells_inflight", JsonValue::Null)
+            .with("cells_degraded", JsonValue::Null)
             .with("workers", JsonValue::Null)
             .with("pct", JsonValue::Null)
             .with("eta_secs", JsonValue::Null);
@@ -70,6 +73,7 @@ pub fn progress_json(recorder: &Recorder) -> JsonValue {
     out.set("cells_total", total);
     out.set("cells_done", done);
     out.set("cells_inflight", inflight);
+    out.set("cells_degraded", degraded);
     out.set("workers", workers);
     out.set("pct", pct);
     out.set("eta_secs", eta_secs);
@@ -87,6 +91,7 @@ mod tests {
         let p = progress_json(&r);
         assert_eq!(p.get("running").and_then(JsonValue::as_bool), Some(false));
         assert!(matches!(p.get("eta_secs"), Some(JsonValue::Null)));
+        assert!(matches!(p.get("cells_degraded"), Some(JsonValue::Null)));
         dynp_obs::validate_json(&p.to_json()).unwrap();
     }
 
@@ -96,6 +101,7 @@ mod tests {
         r.gauge("exp.cells_total").set(10);
         r.gauge("exp.cells_done").set(4);
         r.gauge("exp.cells_inflight").set(2);
+        r.gauge("exp.cells_degraded").set(1);
         r.gauge("exp.workers").set(2);
         // Two finished cells at 2 s mean.
         r.histogram("exp.cell").record(1_000_000_000);
@@ -103,6 +109,7 @@ mod tests {
         let p = progress_json(&r);
         assert_eq!(p.get("running").and_then(JsonValue::as_bool), Some(true));
         assert_eq!(p.get("cells_done").and_then(JsonValue::as_u64), Some(4));
+        assert_eq!(p.get("cells_degraded").and_then(JsonValue::as_u64), Some(1));
         assert_eq!(p.get("pct").and_then(JsonValue::as_f64), Some(40.0));
         // 6 remaining × 2 s mean / 2 workers = 6 s.
         assert_eq!(p.get("eta_secs").and_then(JsonValue::as_f64), Some(6.0));

@@ -62,9 +62,15 @@ const PLAIN: &str = "text/plain; charset=utf-8";
 /// demonstrably exercises the alert path end to end (a run whose
 /// `/alerts` never fired anything is a run where alerting is broken,
 /// not healthy).
+///
+/// `campaign-degraded-cells` watches the `exp.cells_degraded` gauge the
+/// campaign runner maintains: any cell that stays crashed or timed out
+/// after its retry budget raises the alert, so a sweep that silently
+/// lost cells cannot look healthy from `/alerts`.
 pub fn default_rules() -> Vec<Rule> {
     vec![
         Rule::gauge_above("campaign-progress-selftest", "exp.cells_done", 0),
+        Rule::gauge_above("campaign-degraded-cells", "exp.cells_degraded", 0),
         Rule::counter_rate("milp-budget-exhaustion", "milp.budget_exhausted", 0.5),
         Rule::high_water_above("milp-open-list-high-water", "milp.open_nodes", 100_000),
         Rule::p99_above("cell-latency-p99", "exp.cell", 60_000_000_000),

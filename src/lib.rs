@@ -127,7 +127,8 @@ pub mod prelude {
     pub use crate::Error;
     pub use dynp_core::{Decider, FixedPolicy, PolicySelector, SelfTuning};
     pub use dynp_exp::{
-        run_campaign, CampaignConfig, CampaignError, CampaignOutcome, ExactConfig, SelectorSpec,
+        run_campaign, CampaignConfig, CampaignError, CampaignOutcome, CellStatus, ExactConfig,
+        FaultInjection, FaultKind, FaultPlan, SelectorSpec,
     };
     pub use dynp_milp::{
         solve_snapshot, BranchLimits, ExactRun, SolveConfig, SolveError, TimeScaling,

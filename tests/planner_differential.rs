@@ -88,7 +88,7 @@ fn assert_planner_equivalence(problem: &SchedulingProblem) {
         );
     }
     let mut tuner = SelfTuning::paper_config(Metric::SldwA);
-    let out = tuner.step(problem);
+    let out = tuner.step(problem).expect("plannable snapshot");
     assert_eq!(
         out.schedule,
         plan_reference(problem, out.chosen),
